@@ -1,0 +1,152 @@
+// Command mhsgen generates multi-hop traffic loads as JSON, and prints
+// summary statistics of existing load files.
+//
+// Usage:
+//
+//	mhsgen -n 100 -window 10000 -out load.json
+//	mhsgen -trace fb-db -n 100 -window 10000 -out db.json
+//	mhsgen -stats load.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 100, "number of network nodes")
+		window    = flag.Int("window", 10000, "window W (sets per-port traffic and trace scaling)")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		trace     = flag.String("trace", "", "trace-like load: fb-hadoop, fb-web, fb-db, ms (default: synthetic)")
+		routes    = flag.Int("routes", 1, "candidate routes per flow")
+		fixedHops = flag.Int("fixed-hops", 0, "force every route to this many hops")
+		skew      = flag.Int("skew", 30, "c_S as percent of per-port traffic (synthetic)")
+		flows     = flag.Int("flows", 16, "flows per port, 1:3 large:small ratio (synthetic)")
+		matrix    = flag.String("matrix", "", "build the load from a CSV demand matrix instead of generating")
+		out       = flag.String("out", "", "output JSON path (default stdout)")
+		stats     = flag.String("stats", "", "print statistics of an existing load JSON and exit")
+	)
+	flag.Parse()
+
+	if *stats != "" {
+		printStats(*stats)
+		return
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var load *traffic.Load
+	var err error
+	if *matrix != "" {
+		f, ferr := os.Open(*matrix)
+		if ferr != nil {
+			fatalf("%v", ferr)
+		}
+		m, merr := traffic.ReadDemandCSV(f)
+		f.Close()
+		if merr != nil {
+			fatalf("%v", merr)
+		}
+		g := graph.Complete(len(m))
+		load, err = traffic.FromDemandMatrix(g, m, *window, traffic.SyntheticParams{RouteChoices: *routes, FixedHops: *fixedHops}, rng)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		emit(load, *out)
+		return
+	}
+	g := graph.Complete(*n)
+	if *trace != "" {
+		kinds := map[string]traffic.TraceKind{
+			"fb-hadoop": traffic.FBHadoop,
+			"fb-web":    traffic.FBWeb,
+			"fb-db":     traffic.FBDatabase,
+			"ms":        traffic.MSHeatmap,
+		}
+		kind, ok := kinds[*trace]
+		if !ok {
+			fatalf("unknown trace %q", *trace)
+		}
+		load, err = traffic.TraceLike(g, kind, *window, traffic.SyntheticParams{RouteChoices: *routes, FixedHops: *fixedHops, MinHops: 1, MaxHops: 3}, rng)
+	} else {
+		p := traffic.DefaultSyntheticParams(*n, *window)
+		p.RouteChoices = *routes
+		p.FixedHops = *fixedHops
+		p.NL = max(1, *flows/4)
+		p.NS = max(1, *flows-*flows/4)
+		total := p.CL + p.CS
+		p.CS = total * *skew / 100
+		p.CL = total - p.CS
+		load, err = traffic.Synthetic(g, p, rng)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	emit(load, *out)
+}
+
+func emit(load *traffic.Load, out string) {
+	if out == "" {
+		if err := load.WriteJSON(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	if err := load.SaveFile(out); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d flows, %d packets\n", out, len(load.Flows), load.TotalPackets())
+}
+
+func printStats(path string) {
+	loadPtr, err := traffic.LoadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	load := *loadPtr
+	sizes := make([]int, 0, len(load.Flows))
+	hops := map[int]int{}
+	maxNode := 0
+	for _, f := range load.Flows {
+		sizes = append(sizes, f.Size)
+		hops[f.Routes[0].Hops()] += f.Size
+		for _, r := range f.Routes {
+			for _, v := range r {
+				if v > maxNode {
+					maxNode = v
+				}
+			}
+		}
+	}
+	sort.Ints(sizes)
+	pct := func(p float64) int {
+		if len(sizes) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(sizes)-1))
+		return sizes[i]
+	}
+	fmt.Printf("flows:   %d\n", len(load.Flows))
+	fmt.Printf("packets: %d\n", load.TotalPackets())
+	fmt.Printf("nodes:   >= %d\n", maxNode+1)
+	fmt.Printf("hop mix (packets): ")
+	for h := 1; h <= load.MaxHops(); h++ {
+		fmt.Printf("%d-hop=%d ", h, hops[h])
+	}
+	fmt.Println()
+	if len(sizes) > 0 {
+		fmt.Printf("flow size: min=%d p50=%d p90=%d p99=%d max=%d\n",
+			sizes[0], pct(0.5), pct(0.9), pct(0.99), sizes[len(sizes)-1])
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mhsgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,223 @@
+// Command mhsim runs one multi-hop scheduling scenario end to end:
+// generate (or read) a traffic load, plan a schedule with the selected
+// algorithm, replay it in the packet-level simulator, and print the
+// outcome.
+//
+// Usage:
+//
+//	mhsim -n 100 -window 10000 -delta 20 -algo octopus
+//	mhsim -algo octopus-plus -routes 10
+//	mhsim -trace fb-hadoop -algo eclipse-based
+//	mhsim -load load.json -algo octopus-g -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"octopus/internal/baseline"
+	"octopus/internal/core"
+	"octopus/internal/graph"
+	"octopus/internal/online"
+	"octopus/internal/schedule"
+	"octopus/internal/simulate"
+	"octopus/internal/traffic"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 24, "number of network nodes")
+		window    = flag.Int("window", 1000, "window W in time slots")
+		delta     = flag.Int("delta", 20, "reconfiguration delay Δ in time slots")
+		algo      = flag.String("algo", "octopus", "algorithm: octopus, octopus-g, octopus-b, octopus-e, octopus-plus, octopus-random, eclipse-based, rotornet, ub, maxweight")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		trace     = flag.String("trace", "", "trace-like load: fb-hadoop, fb-web, fb-db, ms (default: synthetic)")
+		loadPath  = flag.String("load", "", "read the traffic load from a JSON file instead of generating")
+		routes    = flag.Int("routes", 1, "candidate routes per flow (for octopus-plus / octopus-random)")
+		fixedHops = flag.Int("fixed-hops", 0, "force every route to this many hops")
+		ports     = flag.Int("ports", 1, "input/output ports per node")
+		deg       = flag.Int("deg", 0, "partial fabric with this out-degree per node (0 = complete)")
+		multihop  = flag.Bool("multihop", false, "allow packets to chain hops within a configuration")
+		verbose   = flag.Bool("v", false, "print the configuration sequence")
+		gantt     = flag.Bool("gantt", false, "print the schedule as an ASCII Gantt chart")
+		saveSched = flag.String("save-schedule", "", "write the planned schedule to a JSON file")
+		replay    = flag.String("replay", "", "skip planning: replay a schedule JSON file over the load")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var g *graph.Digraph
+	if *deg > 0 {
+		g = graph.RandomPartial(*n, *deg, rng)
+	} else {
+		g = graph.Complete(*n)
+	}
+
+	load, err := makeLoad(g, *loadPath, *trace, *n, *window, *routes, *fixedHops, rng)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("fabric: %d nodes, %d links; load: %d flows, %d packets, max %d hops\n",
+		g.N(), g.M(), len(load.Flows), load.TotalPackets(), load.MaxHops())
+
+	if *replay != "" {
+		sch, err := schedule.LoadFile(*replay)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sim, err := simulate.Run(g, load, sch, simulate.Options{
+			Window: *window, MultiHop: *multihop, Ports: *ports,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report(sim, len(sch.Configs))
+		return
+	}
+
+	switch *algo {
+	case "maxweight":
+		var arr []online.Arrival
+		for _, f := range load.Flows {
+			arr = append(arr, online.Arrival{Flow: f, At: 0})
+		}
+		hold := 10 * *delta
+		if hold == 0 {
+			hold = 10
+		}
+		res, err := online.MaxWeightAdaptive(g, arr, online.AdaptiveOptions{
+			Horizon: *window, Delta: *delta, Hold: hold,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("maxweight: delivered %d/%d (%.2f%%), %d packet-hops, %d reconfigurations\n",
+			res.Delivered, res.Total, 100*res.DeliveredFraction(), res.Hops, res.Reconfigs)
+		return
+	case "eclipse-based":
+		sim, sch, err := baseline.EclipseBased(g, load, *window, *delta, core.MatcherExact)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report(sim, len(sch.Configs))
+		return
+	case "rotornet":
+		sim, sch, err := baseline.RotorNet(g, load, *window, *delta, 0)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		report(sim, len(sch.Configs))
+		return
+	case "ub":
+		ub, err := baseline.UpperBound(g, load, *window, *delta, core.MatcherExact)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("UB: delivered %d/%d (%.2f%%), utilization %.2f%%\n",
+			ub.Delivered, ub.TotalPackets, 100*ub.DeliveredFraction(), 100*ub.Utilization())
+		return
+	}
+
+	opt := core.Options{Window: *window, Delta: *delta, Ports: *ports, MultiHop: *multihop}
+	switch *algo {
+	case "octopus":
+	case "octopus-g":
+		opt.Matcher = core.MatcherGreedy
+	case "octopus-b":
+		opt.AlphaSearch = core.AlphaBinary
+	case "octopus-e":
+		opt.Epsilon64 = 4
+	case "octopus-plus":
+		opt.MultiRoute = true
+	case "octopus-random":
+		for i := range load.Flows {
+			f := &load.Flows[i]
+			f.Routes = []traffic.Route{f.Routes[rng.Intn(len(f.Routes))]}
+		}
+	default:
+		fatalf("unknown algorithm %q", *algo)
+	}
+
+	s, err := core.New(g, load, opt)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *verbose {
+		for i, cfg := range res.Schedule.Configs {
+			fmt.Printf("  config %3d: %s\n", i, cfg)
+		}
+	}
+	if *gantt {
+		if err := res.Schedule.WriteGantt(os.Stdout, g.N()); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *saveSched != "" {
+		if err := res.Schedule.SaveFile(*saveSched); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote schedule to %s\n", *saveSched)
+	}
+	fmt.Printf("plan: %d configurations, cost %d/%d slots, %d iterations\n",
+		len(res.Schedule.Configs), res.Schedule.Cost(), *window, res.Iterations)
+	if opt.MultiRoute {
+		// Octopus+ plans are measured by their verified bookkeeping.
+		fmt.Printf("plan bookkeeping: delivered %d/%d (%.2f%%), %d packet-hops\n",
+			res.Delivered, res.TotalPackets, 100*float64(res.Delivered)/float64(res.TotalPackets), res.Hops)
+		return
+	}
+	sim, err := simulate.Run(g, load, res.Schedule, simulate.Options{
+		Window: *window, MultiHop: *multihop, Ports: *ports, Epsilon64: opt.Epsilon64,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	report(sim, len(res.Schedule.Configs))
+}
+
+func makeLoad(g *graph.Digraph, path, trace string, n, window, routes, fixedHops int, rng *rand.Rand) (*traffic.Load, error) {
+	if path != "" {
+		load, err := traffic.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := load.Validate(g); err != nil {
+			return nil, err
+		}
+		return load, nil
+	}
+	kinds := map[string]traffic.TraceKind{
+		"fb-hadoop": traffic.FBHadoop,
+		"fb-web":    traffic.FBWeb,
+		"fb-db":     traffic.FBDatabase,
+		"ms":        traffic.MSHeatmap,
+	}
+	if trace != "" {
+		kind, ok := kinds[trace]
+		if !ok {
+			return nil, fmt.Errorf("unknown trace %q", trace)
+		}
+		return traffic.TraceLike(g, kind, window, traffic.SyntheticParams{}, rng)
+	}
+	p := traffic.DefaultSyntheticParams(n, window)
+	p.RouteChoices = routes
+	p.FixedHops = fixedHops
+	return traffic.Synthetic(g, p, rng)
+}
+
+func report(sim *simulate.Result, configs int) {
+	fmt.Printf("measured: delivered %d/%d (%.2f%%), %d packet-hops, utilization %.2f%%, %d/%d configs replayed\n",
+		sim.Delivered, sim.TotalPackets, 100*sim.DeliveredFraction(),
+		sim.Hops, 100*sim.Utilization(), sim.Configs, configs)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mhsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+)
+
+func TestMakeLoadSynthetic(t *testing.T) {
+	g := graph.Complete(8)
+	rng := rand.New(rand.NewSource(1))
+	load, err := makeLoad(g, "", "", 8, 100, 1, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := load.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeLoadTraces(t *testing.T) {
+	g := graph.Complete(8)
+	for _, tr := range []string{"fb-hadoop", "fb-web", "fb-db", "ms"} {
+		rng := rand.New(rand.NewSource(1))
+		load, err := makeLoad(g, "", tr, 8, 100, 1, 0, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		if load.TotalPackets() == 0 {
+			t.Fatalf("%s: empty", tr)
+		}
+	}
+	if _, err := makeLoad(g, "", "bogus", 8, 100, 1, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("bogus trace accepted")
+	}
+}
+
+func TestMakeLoadFromFile(t *testing.T) {
+	g := graph.Complete(4)
+	path := filepath.Join(t.TempDir(), "load.json")
+	src := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 1, Size: 5, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+	}}
+	if err := src.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	load, err := makeLoad(g, path, "", 4, 100, 1, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.TotalPackets() != 5 {
+		t.Fatalf("got %d packets", load.TotalPackets())
+	}
+	if _, err := makeLoad(g, filepath.Join(t.TempDir(), "nope.json"), "", 4, 100, 1, 0, nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// A load referencing nodes outside the fabric is rejected.
+	big := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 1, Size: 5, Src: 0, Dst: 9, Routes: []traffic.Route{{0, 9}}},
+	}}
+	path2 := filepath.Join(t.TempDir(), "big.json")
+	if err := big.SaveFile(path2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := makeLoad(g, path2, "", 4, 100, 1, 0, nil); err == nil {
+		t.Fatal("out-of-fabric load accepted")
+	}
+}

@@ -1,0 +1,112 @@
+// Datacenter: schedule realistic data-center traffic mixes on a hybrid
+// circuit fabric and compare every algorithm the paper evaluates —
+// Octopus and its variants against the Eclipse-Based and RotorNet
+// baselines and the UB upper bound — over both the synthetic workload and
+// the trace-like loads standing in for the Facebook/Microsoft traces.
+//
+// Flags scale the scenario; defaults run in a few seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"octopus"
+)
+
+func main() {
+	var (
+		nodes  = flag.Int("n", 24, "network nodes")
+		window = flag.Int("window", 1500, "window W in slots")
+		delta  = flag.Int("delta", 20, "reconfiguration delay Δ in slots")
+		seed   = flag.Int64("seed", 7, "RNG seed")
+	)
+	flag.Parse()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\talgorithm\tdelivered%\tutilization%")
+
+	workloads := []struct {
+		name string
+		gen  func(g *octopus.Network, rng *rand.Rand) (*octopus.Load, error)
+	}{
+		{"synthetic", func(g *octopus.Network, rng *rand.Rand) (*octopus.Load, error) {
+			return octopus.Synthetic(g, octopus.DefaultSyntheticParams(*nodes, *window), rng)
+		}},
+		{"fb-hadoop", trace(octopus.FBHadoop, *window)},
+		{"fb-web", trace(octopus.FBWeb, *window)},
+		{"fb-db", trace(octopus.FBDatabase, *window)},
+		{"ms-heatmap", trace(octopus.MSHeatmap, *window)},
+	}
+
+	for _, wl := range workloads {
+		g := octopus.Complete(*nodes)
+		rng := rand.New(rand.NewSource(*seed))
+		load, err := wl.gen(g, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		run := func(name string, opt octopus.Options) {
+			res, err := octopus.Schedule(g, load, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			meas, err := octopus.Measure(g, load, res.Schedule, octopus.SimOptions{
+				Window: *window, Epsilon64: opt.Epsilon64,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\n", wl.name, name,
+				100*meas.DeliveredFraction(), 100*meas.Utilization())
+		}
+
+		base := octopus.Options{Window: *window, Delta: *delta}
+		run("Octopus", base)
+
+		gOpt := base
+		gOpt.Matcher = octopus.MatcherGreedy
+		run("Octopus-G", gOpt)
+
+		bOpt := base
+		bOpt.AlphaSearch = octopus.AlphaBinary
+		run("Octopus-B", bOpt)
+
+		eOpt := base
+		eOpt.Epsilon64 = 4
+		run("Octopus-e", eOpt)
+
+		ecl, err := octopus.EclipseBased(g, load, *window, *delta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\tEclipse-Based\t%.1f\t%.1f\n", wl.name,
+			100*ecl.DeliveredFraction(), 100*ecl.Utilization())
+
+		rot, err := octopus.RotorNet(g, load, *window, *delta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\tRotorNet\t%.1f\t%.1f\n", wl.name,
+			100*rot.DeliveredFraction(), 100*rot.Utilization())
+
+		ub, err := octopus.UpperBound(g, load, *window, *delta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\tUB (bound)\t%.1f\t%.1f\n", wl.name,
+			100*ub.DeliveredFraction(), 100*ub.Utilization())
+	}
+	w.Flush()
+}
+
+func trace(kind octopus.TraceKind, window int) func(*octopus.Network, *rand.Rand) (*octopus.Load, error) {
+	return func(g *octopus.Network, rng *rand.Rand) (*octopus.Load, error) {
+		return octopus.TraceLike(g, kind, window, rng)
+	}
+}

@@ -1,0 +1,67 @@
+// Hybrid: the §7 extensions. Schedules traffic on a hybrid
+// circuit/packet fabric (the packet network absorbs small flows first,
+// Octopus handles the bursts), sweeps the packet-network rate, and solves
+// the makespan-minimization problem (the smallest window that fully
+// serves a load) by binary search.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"octopus"
+)
+
+func main() {
+	var (
+		nodes  = flag.Int("n", 16, "network nodes")
+		window = flag.Int("window", 800, "window W in slots")
+		delta  = flag.Int("delta", 20, "reconfiguration delay Δ in slots")
+		seed   = flag.Int64("seed", 5, "RNG seed")
+	)
+	flag.Parse()
+
+	g := octopus.Complete(*nodes)
+	rng := rand.New(rand.NewSource(*seed))
+	load, err := octopus.Synthetic(g, octopus.DefaultSyntheticParams(*nodes, *window), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("load: %d flows, %d packets over %d nodes\n\n",
+		len(load.Flows), load.TotalPackets(), *nodes)
+
+	// Sweep the packet network's relative line rate (the paper assumes
+	// roughly an order of magnitude below the circuit network).
+	fmt.Println("hybrid scheduling: packet network absorbs small flows first")
+	for _, rate := range []float64{0, 0.05, 0.1, 0.2} {
+		res, err := octopus.HybridSchedule(g, load.Clone(), octopus.Options{
+			Window: *window, Delta: *delta,
+		}, rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		circuit := 0
+		if res.Circuit != nil {
+			circuit = res.Circuit.Delivered
+		}
+		fmt.Printf("  packet rate %.2f: %5.1f%% delivered (%d via packet net, %d via circuit)\n",
+			rate, 100*res.DeliveredFraction(), res.PacketDelivered, circuit)
+	}
+
+	// Makespan minimization: the shortest window that fully serves a
+	// (lighter) load.
+	small, err := octopus.Synthetic(g, octopus.SyntheticParams{
+		NL: 1, NS: 3, CL: 140, CS: 60, MinHops: 1, MaxHops: 3,
+	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, res, err := octopus.Makespan(g, small, octopus.Options{Delta: *delta})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmakespan: %d packets fully served in W = %d slots (%d configurations)\n",
+		small.TotalPackets(), w, len(res.Schedule.Configs))
+}

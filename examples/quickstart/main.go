@@ -1,0 +1,67 @@
+// Quickstart: build a small circuit-switched fabric, generate a traffic
+// load, plan a schedule with Octopus, and measure it with the packet-level
+// simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"octopus"
+)
+
+func main() {
+	const (
+		nodes  = 16
+		window = 1000 // W: scheduling window in time slots
+		delta  = 20   // Δ: reconfiguration delay in time slots
+	)
+
+	// A complete fabric models a single n x n circuit switch. Partial
+	// fabrics (octopus.RandomPartial) model FSO-style networks where
+	// multi-hop routing is unavoidable.
+	g := octopus.Complete(nodes)
+
+	// The paper's synthetic data-center workload: a few large flows and
+	// many small flows per port, with routes of 1-3 hops.
+	rng := rand.New(rand.NewSource(42))
+	load, err := octopus.Synthetic(g, octopus.DefaultSyntheticParams(nodes, window), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("load: %d flows, %d packets, max route %d hops\n",
+		len(load.Flows), load.TotalPackets(), load.MaxHops())
+
+	// Plan: Octopus greedily picks the configuration (matching, duration)
+	// with the highest benefit per unit cost until the window is full.
+	res, err := octopus.Schedule(g, load, octopus.Options{Window: window, Delta: delta})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schedule: %d configurations, cost %d of %d slots\n",
+		len(res.Schedule.Configs), res.Schedule.Cost(), window)
+	for i, cfg := range res.Schedule.Configs {
+		if i == 3 {
+			fmt.Printf("  ... (%d more)\n", len(res.Schedule.Configs)-3)
+			break
+		}
+		fmt.Printf("  %d: %d links for %d slots\n", i, len(cfg.Links), cfg.Alpha)
+	}
+
+	// Measure: replay the schedule slot by slot.
+	meas, err := octopus.Measure(g, load, res.Schedule, octopus.SimOptions{Window: window})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivered: %d/%d packets (%.1f%%)\n",
+		meas.Delivered, meas.TotalPackets, 100*meas.DeliveredFraction())
+	fmt.Printf("link utilization: %.1f%%\n", 100*meas.Utilization())
+
+	// How good is that? Compare with the paper's UB upper bound.
+	ub, err := octopus.UpperBound(g, load, window, delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("UB upper bound: %.1f%% delivered\n", 100*ub.DeliveredFraction())
+}

@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"octopus/internal/core"
+	"octopus/internal/graph"
+	"octopus/internal/schedule"
+	"octopus/internal/simulate"
+	"octopus/internal/traffic"
+)
+
+// Eclipse runs the one-hop Eclipse scheduler [36] over a one-hop traffic
+// load: it is exactly the Octopus greedy at 𝒟 = 1, of which Octopus is the
+// multi-hop generalization. The returned scheduler has already run; its
+// plan bookkeeping is final.
+func Eclipse(g *graph.Digraph, oneHop *traffic.Load, window, delta int, matcher core.Matcher) (*core.Scheduler, *core.Result, error) {
+	s, err := core.New(g, oneHop, core.Options{Window: window, Delta: delta, Matcher: matcher})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, res, nil
+}
+
+// EclipseBased is the multi-hop baseline the paper compares against
+// (§8, "Algorithms Compared"): compute the unordered one-hop load T^one,
+// run Eclipse over it to obtain a near-optimal configuration sequence, and
+// then route the original multi-hop traffic over that fixed sequence with
+// the standard VOQ priority scheme — an Eclipse++-style greedy multi-hop
+// routing over a given schedule (see DESIGN.md for the substitution note).
+func EclipseBased(g *graph.Digraph, load *traffic.Load, window, delta int, matcher core.Matcher) (*simulate.Result, *schedule.Schedule, error) {
+	oh := OneHopLoad(load, false)
+	_, res, err := Eclipse(g, oh.Load, window, delta, matcher)
+	if err != nil {
+		return nil, nil, err
+	}
+	sim, err := simulate.Run(g, load, res.Schedule, simulate.Options{Window: window})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sim, res.Schedule, nil
+}
+
+// UBResult reports the UB upper bound of §8: the outcome of Eclipse on
+// T^one where a packet counts as delivered only if all of its hops have
+// been served (in any order).
+type UBResult struct {
+	Delivered       int
+	TotalPackets    int
+	Hops            int   // one-hop packets served (= packet-hops)
+	Psi             int64 // Σ served-hops · original packet weight
+	ActiveLinkSlots int64
+	Schedule        *schedule.Schedule
+}
+
+// DeliveredFraction returns Delivered / TotalPackets.
+func (r *UBResult) DeliveredFraction() float64 {
+	if r.TotalPackets == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.TotalPackets)
+}
+
+// Utilization returns served packet-hops per active link-slot.
+func (r *UBResult) Utilization() float64 {
+	if r.ActiveLinkSlots == 0 {
+		return 0
+	}
+	return float64(r.Hops) / float64(r.ActiveLinkSlots)
+}
+
+// DeliveredOfPsi returns delivered packets as a fraction of ψ in packet
+// equivalents (Fig 7a's metric).
+func (r *UBResult) DeliveredOfPsi() float64 {
+	if r.Psi == 0 {
+		return 0
+	}
+	return float64(r.Delivered) * float64(traffic.WeightScale) / float64(r.Psi)
+}
+
+// UpperBound computes UB: the best achievable performance of a polynomial
+// algorithm for the MHS instance, obtained by relaxing hop ordering
+// (scheduling T^one with Eclipse) — see §8, "Upper Bounds".
+func UpperBound(g *graph.Digraph, load *traffic.Load, window, delta int, matcher core.Matcher) (*UBResult, error) {
+	oh := OneHopLoad(load, true)
+	s, res, err := Eclipse(g, oh.Load, window, delta, matcher)
+	if err != nil {
+		return nil, err
+	}
+	pending := s.PendingByFlow()
+
+	// served[f][h] for the original flows, from the one-hop plan.
+	type hopKey struct{ flow, hop int }
+	served := make(map[hopKey]int)
+	for i := range oh.Load.Flows {
+		ohf := &oh.Load.Flows[i]
+		ref := oh.Origin[ohf.ID]
+		served[hopKey{ref.FlowID, ref.Hop}] = ohf.Size - pending[ohf.ID]
+	}
+
+	ub := &UBResult{
+		TotalPackets:    load.TotalPackets(),
+		Hops:            res.Hops,
+		ActiveLinkSlots: res.Schedule.ActiveLinkSlots(),
+		Schedule:        res.Schedule,
+	}
+	for i := range load.Flows {
+		f := &load.Flows[i]
+		hops := f.Routes[0].Hops()
+		minServed := f.Size
+		for h := 0; h < hops; h++ {
+			sv := served[hopKey{f.ID, h}]
+			if sv < minServed {
+				minServed = sv
+			}
+			ub.Psi += int64(sv) * f.Weight()
+		}
+		ub.Delivered += minServed
+	}
+	return ub, nil
+}
+
+// AbsoluteUpperBound returns the capacity upper bound on deliverable
+// packets: at most window·n packet-hops can be traversed (a matching of an
+// n-node fabric has at most n links, one packet per slot each), and the
+// bound delivers cheapest-route packets first. For the paper's default
+// synthetic load this evaluates to the 66% figure quoted in §8.
+func AbsoluteUpperBound(load *traffic.Load, window, n int) int {
+	budget := int64(window) * int64(n)
+	// Count packets per route length.
+	counts := make([]int, traffic.MaxRouteLen+1)
+	for i := range load.Flows {
+		f := &load.Flows[i]
+		counts[f.Routes[0].Hops()] += f.Size
+	}
+	delivered := 0
+	for h := 1; h <= traffic.MaxRouteLen; h++ {
+		if counts[h] == 0 {
+			continue
+		}
+		can := budget / int64(h)
+		take := counts[h]
+		if int64(take) > can {
+			take = int(can)
+		}
+		delivered += take
+		budget -= int64(take) * int64(h)
+	}
+	return delivered
+}

@@ -1,0 +1,60 @@
+// Package baseline implements the comparison points of the paper's §8: the
+// Eclipse one-hop scheduler [Venkatakrishnan et al., SIGMETRICS '16], the
+// Eclipse-Based multi-hop approach built on it, the traffic-agnostic
+// RotorNet schedule [Mellette et al., SIGCOMM '17], and the UB upper bound
+// plus the absolute capacity upper bound.
+package baseline
+
+import (
+	"octopus/internal/traffic"
+)
+
+// HopRef points from a one-hop flow back to the original multi-hop flow
+// and the index of the hop it represents.
+type HopRef struct {
+	FlowID int // original flow ID
+	Hop    int // hop index along the original primary route
+}
+
+// OneHop is the "unordered one-hop traffic" T^one derived from a multi-hop
+// load by ignoring the ordering of hops: every hop (vᵢ, vᵢ₊₁) of a flow of
+// size s becomes an independent one-hop flow of size s.
+type OneHop struct {
+	Load   *traffic.Load
+	Origin map[int]HopRef // one-hop flow ID -> original hop
+}
+
+// OneHopLoad builds T^one from the primary routes of load. One-hop flow IDs
+// are assigned in (flow, hop) order, preserving the relative flow-ID
+// priority of the original flows. With weighted set, each one-hop flow
+// keeps the original flow's packet weight (via Flow.WeightHops), so a
+// scheduler over T^one optimizes the same ψ objective as the multi-hop
+// problem — the form the UB upper bound needs; the plain Eclipse-Based
+// baseline uses the unweighted form.
+func OneHopLoad(load *traffic.Load, weighted bool) *OneHop {
+	oh := &OneHop{
+		Load:   &traffic.Load{},
+		Origin: make(map[int]HopRef),
+	}
+	nextID := 0
+	for i := range load.Flows {
+		f := &load.Flows[i]
+		r := f.Routes[0]
+		for h := 0; h+1 < len(r); h++ {
+			nf := traffic.Flow{
+				ID:     nextID,
+				Size:   f.Size,
+				Src:    r[h],
+				Dst:    r[h+1],
+				Routes: []traffic.Route{{r[h], r[h+1]}},
+			}
+			if weighted {
+				nf.WeightHops = f.WeightLen(r)
+			}
+			oh.Load.Flows = append(oh.Load.Flows, nf)
+			oh.Origin[nextID] = HopRef{FlowID: f.ID, Hop: h}
+			nextID++
+		}
+	}
+	return oh
+}

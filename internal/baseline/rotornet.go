@@ -1,0 +1,56 @@
+package baseline
+
+import (
+	"octopus/internal/graph"
+	"octopus/internal/schedule"
+	"octopus/internal/simulate"
+	"octopus/internal/traffic"
+)
+
+// RotorNetSchedule returns the traffic-agnostic RotorNet schedule [28]:
+// the complete bipartite fabric is decomposed into the n-1 cyclic perfect
+// matchings M_r = {(i, (i+r) mod n)}, and the schedule cycles through them
+// with a fixed, uniform duration per matching (the paper uses 10·Δ,
+// following ProjecToR/RotorNet practice) until the window is filled.
+func RotorNetSchedule(n, window, delta, slotsPerMatching int) *schedule.Schedule {
+	if slotsPerMatching <= 0 {
+		slotsPerMatching = 10 * delta
+		if slotsPerMatching <= 0 {
+			slotsPerMatching = 10
+		}
+	}
+	sch := &schedule.Schedule{Delta: delta}
+	r := 1
+	for used := 0; used+delta < window; used += slotsPerMatching + delta {
+		alpha := slotsPerMatching
+		if used+delta+alpha > window {
+			alpha = window - used - delta
+		}
+		links := make([]graph.Edge, 0, n)
+		for i := 0; i < n; i++ {
+			links = append(links, graph.Edge{From: i, To: (i + r) % n})
+		}
+		sch.Configs = append(sch.Configs, schedule.Configuration{Links: links, Alpha: alpha})
+		r++
+		if r >= n {
+			r = 1
+		}
+	}
+	return sch
+}
+
+// RotorNet replays the multi-hop load over the RotorNet schedule. RotorNet
+// assumes a complete fabric, so the replay runs over Complete(n) even when
+// the instance's fabric g is partial (the paper applies it to the MHS
+// problem "by assuming availability of all edges anyway"); the flows still
+// follow their given routes.
+func RotorNet(g *graph.Digraph, load *traffic.Load, window, delta, slotsPerMatching int) (*simulate.Result, *schedule.Schedule, error) {
+	n := g.N()
+	sch := RotorNetSchedule(n, window, delta, slotsPerMatching)
+	full := graph.Complete(n)
+	sim, err := simulate.Run(full, load, sch, simulate.Options{Window: window})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sim, sch, nil
+}

@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"sort"
+
+	"octopus/internal/graph"
+	"octopus/internal/matching"
+	"octopus/internal/schedule"
+	"octopus/internal/simulate"
+	"octopus/internal/traffic"
+)
+
+// SolsticeSchedule builds a configuration sequence for a one-hop demand
+// using a greedy Birkhoff-von-Neumann-style decomposition in the spirit of
+// Solstice [Liu et al., CoNEXT '15]: repeatedly pick a threshold t and a
+// maximum set of simultaneously-servable links with demand >= t, activate
+// them for t slots, and subtract. Among the distinct remaining demand
+// values, the threshold maximizing covered demand per unit cost
+// (t·|M_t| / (t+Δ)) is chosen — the long-configurations-first bias that
+// lets Solstice amortize the reconfiguration delay.
+//
+// Simplifications vs. the published system (documented in DESIGN.md):
+// no matrix stuffing (we do not require perfect matchings, only maximum
+// ones) and no explicit packet-network residue (the residue is simply left
+// unscheduled, exactly like every other window-bounded scheduler here).
+func SolsticeSchedule(oneHop *traffic.Load, n, window, delta int) *schedule.Schedule {
+	demand := make(map[graph.Edge]int)
+	for i := range oneHop.Flows {
+		f := &oneHop.Flows[i]
+		demand[graph.Edge{From: f.Src, To: f.Dst}] += f.Size
+	}
+	sch := &schedule.Schedule{Delta: delta}
+	used := 0
+	for used+delta < window && len(demand) > 0 {
+		edges := make([]graph.Edge, 0, len(demand))
+		for e := range demand {
+			edges = append(edges, e)
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].From != edges[j].From {
+				return edges[i].From < edges[j].From
+			}
+			return edges[i].To < edges[j].To
+		})
+		// Distinct demand values, descending.
+		vals := make([]int, 0, len(demand))
+		seen := map[int]bool{}
+		for _, d := range demand {
+			if !seen[d] {
+				seen[d] = true
+				vals = append(vals, d)
+			}
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(vals)))
+
+		var bestM []graph.Edge
+		bestT := 0
+		var bestScoreNum, bestScoreDen int64 = 0, 1
+		for _, t := range vals {
+			var cand []graph.Edge
+			for _, e := range edges {
+				if demand[e] >= t {
+					cand = append(cand, e)
+				}
+			}
+			mEdges := maxCardinality(n, cand)
+			num := int64(t) * int64(len(mEdges))
+			den := int64(t + delta)
+			if num*bestScoreDen > bestScoreNum*den {
+				bestScoreNum, bestScoreDen = num, den
+				bestT = t
+				bestM = mEdges
+			}
+		}
+		if bestT == 0 || len(bestM) == 0 {
+			break
+		}
+		alpha := bestT
+		if used+delta+alpha > window {
+			alpha = window - used - delta
+		}
+		if alpha <= 0 {
+			break
+		}
+		sch.Configs = append(sch.Configs, schedule.Configuration{Links: bestM, Alpha: alpha})
+		used += delta + alpha
+		for _, e := range bestM {
+			demand[e] -= alpha
+			if demand[e] <= 0 {
+				delete(demand, e)
+			}
+		}
+	}
+	return sch
+}
+
+func maxCardinality(n int, edges []graph.Edge) []graph.Edge {
+	in := make([]matching.Edge, len(edges))
+	for i, e := range edges {
+		in[i] = matching.Edge{From: e.From, To: e.To}
+	}
+	out := matching.MaxCardinalityBipartite(n, in)
+	res := make([]graph.Edge, len(out))
+	for i, e := range out {
+		res[i] = graph.Edge{From: e.From, To: e.To}
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].From != res[j].From {
+			return res[i].From < res[j].From
+		}
+		return res[i].To < res[j].To
+	})
+	return res
+}
+
+// SolsticeBased schedules the unordered one-hop decomposition of a
+// multi-hop load with the Solstice-style decomposition and replays the
+// original traffic over the resulting sequence — the Solstice analog of
+// the Eclipse-Based baseline, provided for the extension comparisons.
+func SolsticeBased(g *graph.Digraph, load *traffic.Load, window, delta int) (*simulate.Result, *schedule.Schedule, error) {
+	oh := OneHopLoad(load, false)
+	sch := SolsticeSchedule(oh.Load, g.N(), window, delta)
+	sim, err := simulate.Run(g, load, sch, simulate.Options{Window: window})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sim, sch, nil
+}

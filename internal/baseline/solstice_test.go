@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"testing"
+
+	"octopus/internal/core"
+	"octopus/internal/graph"
+
+	"octopus/internal/traffic"
+)
+
+func TestSolsticeScheduleStructure(t *testing.T) {
+	oneHop := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 0, Size: 100, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+		{ID: 1, Size: 100, Src: 1, Dst: 2, Routes: []traffic.Route{{1, 2}}},
+		{ID: 2, Size: 10, Src: 0, Dst: 2, Routes: []traffic.Route{{0, 2}}},
+	}}
+	sch := SolsticeSchedule(oneHop, 3, 1000, 10)
+	if len(sch.Configs) == 0 {
+		t.Fatal("empty Solstice schedule")
+	}
+	g := graph.Complete(3)
+	if err := sch.Validate(g, 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The two disjoint 100-packet demands should share one long
+	// configuration (the decomposition's whole point).
+	first := sch.Configs[0]
+	if len(first.Links) != 2 || first.Alpha != 100 {
+		t.Fatalf("first configuration = %v, want both heavy links for 100 slots", first)
+	}
+}
+
+func TestSolsticeFullyServesGivenTime(t *testing.T) {
+	g, load := synthetic(t, 3, 8, 150)
+	oh := OneHopLoad(load, false)
+	sch := SolsticeSchedule(oh.Load, g.N(), 1<<20, 5)
+	// Total scheduled capacity covers total demand per link.
+	demand := map[graph.Edge]int{}
+	for _, f := range oh.Load.Flows {
+		demand[graph.Edge{From: f.Src, To: f.Dst}] += f.Size
+	}
+	served := map[graph.Edge]int{}
+	for _, cfg := range sch.Configs {
+		for _, e := range cfg.Links {
+			served[e] += cfg.Alpha
+		}
+	}
+	for e, d := range demand {
+		if served[e] < d {
+			t.Fatalf("link %v: served %d < demand %d", e, served[e], d)
+		}
+	}
+}
+
+func TestSolsticeBasedComparableToEclipseBased(t *testing.T) {
+	g, load := synthetic(t, 9, 12, 400)
+	sol, sch, err := SolsticeBased(g, load, 400, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sch.Validate(g, 400, 1); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Delivered <= 0 {
+		t.Fatal("Solstice-Based delivered nothing")
+	}
+	// Octopus still wins (multi-hop awareness).
+	s, err := core.New(g, load, core.Options{Window: 400, Delta: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Delivered >= res.Delivered {
+		t.Fatalf("Solstice-Based %d not below Octopus %d", sol.Delivered, res.Delivered)
+	}
+}
+
+func TestSolsticeRespectsWindow(t *testing.T) {
+	g, load := synthetic(t, 10, 8, 200)
+	oh := OneHopLoad(load, false)
+	for _, w := range []int{30, 77, 200} {
+		sch := SolsticeSchedule(oh.Load, g.N(), w, 10)
+		if sch.Cost() > w {
+			t.Fatalf("window %d: cost %d", w, sch.Cost())
+		}
+	}
+	// Window too small for even one configuration.
+	empty := SolsticeSchedule(oh.Load, g.N(), 10, 10)
+	if len(empty.Configs) != 0 {
+		t.Fatalf("expected empty schedule, got %v", empty.Configs)
+	}
+}

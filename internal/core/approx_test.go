@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"octopus/internal/graph"
+	"octopus/internal/schedule"
+	"octopus/internal/simulate"
+	"octopus/internal/traffic"
+)
+
+// enumerateMatchings returns every nonempty matching of g.
+func enumerateMatchings(g *graph.Digraph) [][]graph.Edge {
+	edges := g.Edges()
+	var out [][]graph.Edge
+	var cur []graph.Edge
+	usedF := map[int]bool{}
+	usedT := map[int]bool{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(edges) {
+			if len(cur) > 0 {
+				out = append(out, append([]graph.Edge(nil), cur...))
+			}
+			return
+		}
+		rec(i + 1)
+		e := edges[i]
+		if !usedF[e.From] && !usedT[e.To] {
+			usedF[e.From] = true
+			usedT[e.To] = true
+			cur = append(cur, e)
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+			usedF[e.From] = false
+			usedT[e.To] = false
+		}
+	}
+	rec(0)
+	return out
+}
+
+// bruteForceBestPsi exhaustively searches configuration sequences (with
+// the fixed packet-priority scheme; the paper's footnote 3 notes the true
+// optimum need not prioritize this way, so this is a lower bound on OPT —
+// sufficient for validating that Octopus clears the Theorem 1 bound
+// against it) and returns the best ψ achievable within the window.
+func bruteForceBestPsi(t *testing.T, g *graph.Digraph, load *traffic.Load, window, delta int) int64 {
+	t.Helper()
+	matchings := enumerateMatchings(g)
+	var best int64
+	var seq []schedule.Configuration
+	var rec func(used int)
+	rec = func(used int) {
+		sch := &schedule.Schedule{Delta: delta, Configs: seq}
+		res, err := simulate.Run(g, load, sch, simulate.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Psi > best {
+			best = res.Psi
+		}
+		for _, m := range matchings {
+			for alpha := 1; used+delta+alpha <= window; alpha++ {
+				seq = append(seq, schedule.Configuration{Links: m, Alpha: alpha})
+				rec(used + delta + alpha)
+				seq = seq[:len(seq)-1]
+			}
+		}
+	}
+	rec(0)
+	return best
+}
+
+// TestTheorem1BoundOnTinyInstances validates the approximation guarantee:
+// Octopus's ψ must be at least (1 - 1/e^{1/𝒟})·W/(W+Δ) times the best ψ
+// found by exhaustive search, on instances small enough to search.
+func TestTheorem1BoundOnTinyInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		// Tiny fabric: 4 nodes, ~4 random edges plus whatever routes need.
+		g := graph.New(4)
+		var flows []traffic.Flow
+		id := 1
+		for f := 0; f < 2; f++ {
+			src := rng.Intn(4)
+			dst := (src + 1 + rng.Intn(3)) % 4
+			hops := 1 + rng.Intn(2)
+			var route traffic.Route
+			if hops == 1 {
+				route = traffic.Route{src, dst}
+			} else {
+				var mid int
+				for {
+					mid = rng.Intn(4)
+					if mid != src && mid != dst {
+						break
+					}
+				}
+				route = traffic.Route{src, mid, dst}
+			}
+			for k := 0; k+1 < len(route); k++ {
+				g.AddEdge(route[k], route[k+1])
+			}
+			flows = append(flows, traffic.Flow{
+				ID: id, Size: 1 + rng.Intn(3), Src: src, Dst: dst,
+				Routes: []traffic.Route{route},
+			})
+			id++
+		}
+		load := &traffic.Load{Flows: flows}
+		const window, delta = 7, 1
+		s, err := New(g, load, Options{Window: window, Delta: delta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := bruteForceBestPsi(t, g, load, window, delta)
+		if opt == 0 {
+			continue
+		}
+		d := float64(load.MaxHops())
+		bound := (1 - math.Exp(-1/d)) * float64(window) / float64(window+delta)
+		if float64(res.Psi) < bound*float64(opt)-1e-9 {
+			t.Fatalf("trial %d: Octopus ψ=%d below bound %.3f·OPT(%d) = %.1f",
+				trial, res.Psi, bound, opt, bound*float64(opt))
+		}
+	}
+}
+
+// TestOctopusOftenMatchesTinyOptimum is a sanity companion: on most tiny
+// instances the greedy actually attains the exhaustive optimum.
+func TestOctopusOftenMatchesTinyOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	matched, total := 0, 0
+	for trial := 0; trial < 10; trial++ {
+		g := graph.New(3)
+		g.AddEdge(0, 1)
+		g.AddEdge(1, 2)
+		g.AddEdge(0, 2)
+		load := &traffic.Load{Flows: []traffic.Flow{
+			{ID: 1, Size: 1 + rng.Intn(2), Src: 0, Dst: 2, Routes: []traffic.Route{{0, 1, 2}}},
+			{ID: 2, Size: 1 + rng.Intn(2), Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+		}}
+		const window, delta = 6, 1
+		s, err := New(g, load, Options{Window: window, Delta: delta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := bruteForceBestPsi(t, g, load, window, delta)
+		total++
+		if res.Psi == opt {
+			matched++
+		}
+		if res.Psi > opt {
+			t.Fatalf("trial %d: Octopus ψ=%d exceeds exhaustive optimum %d", trial, res.Psi, opt)
+		}
+		// Empirically the greedy stays well above the worst-case bound
+		// even on adversarially tiny windows.
+		if float64(res.Psi) < 0.5*float64(opt) {
+			t.Fatalf("trial %d: Octopus ψ=%d below half of optimum %d", trial, res.Psi, opt)
+		}
+	}
+	t.Logf("matched the exhaustive optimum on %d of %d tiny instances", matched, total)
+}

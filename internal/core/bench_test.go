@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+)
+
+func benchInstance(b *testing.B, n, window int) (*graph.Digraph, *traffic.Load) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Complete(n)
+	load, err := traffic.Synthetic(g, traffic.DefaultSyntheticParams(n, window), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, load
+}
+
+// BenchmarkStep measures one greedy iteration (the §4.1 practically
+// significant quantity) for both matchers.
+func BenchmarkStep(b *testing.B) {
+	for _, m := range []struct {
+		name string
+		m    Matcher
+	}{{"exact", MatcherExact}, {"greedy", MatcherGreedy}} {
+		b.Run(m.name, func(b *testing.B) {
+			g, load := benchInstance(b, 50, 5000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := New(g, load, Options{Window: 5000, Delta: 20, Matcher: m.m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, ok, err := s.Step(); err != nil || !ok {
+					b.Fatal("step failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCandidateAlphas measures Procedure 1.
+func BenchmarkCandidateAlphas(b *testing.B) {
+	g, load := benchInstance(b, 50, 5000)
+	s, err := New(g, load, Options{Window: 5000, Delta: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.tr.candidateAlphas(5000)
+	}
+}
+
+// BenchmarkApply measures remaining-traffic application throughput.
+func BenchmarkApply(b *testing.B) {
+	g, load := benchInstance(b, 50, 5000)
+	links := make([]graph.Edge, 0, 50)
+	for i := 0; i < 50; i++ {
+		links = append(links, graph.Edge{From: i, To: (i + 1) % 50})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr := newRemaining(g, load, 0, false, false, false)
+		b.StartTimer()
+		tr.apply(links, 100)
+	}
+}
+
+// BenchmarkFullRun measures a complete Octopus run at a moderate scale.
+func BenchmarkFullRun(b *testing.B) {
+	g, load := benchInstance(b, 32, 1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := New(g, load, Options{Window: 1500, Delta: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOctopusPlusRun measures the joint routing/scheduling variant.
+func BenchmarkOctopusPlusRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Complete(24)
+	p := traffic.DefaultSyntheticParams(24, 800)
+	p.RouteChoices = 10
+	load, err := traffic.Synthetic(g, p, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := New(g, load, Options{Window: 800, Delta: 20, MultiRoute: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"octopus/internal/graph"
+	"octopus/internal/matching"
+)
+
+// best tracks the highest benefit-per-unit-cost configuration seen so far
+// during one greedy iteration.
+type best struct {
+	links   []graph.Edge
+	alpha   int
+	benefit int64
+	delta   int
+}
+
+// consider updates the incumbent if (benefit, alpha) has a strictly higher
+// benefit per unit cost. Ties keep the earlier candidate, so a fixed
+// consideration order (ascending α, greedy before exact) makes the choice
+// deterministic.
+func (b *best) consider(links []graph.Edge, alpha int, benefit int64) {
+	if benefit <= 0 {
+		return
+	}
+	if b.benefit == 0 || benefit*int64(b.alpha+b.delta) > b.benefit*int64(alpha+b.delta) {
+		b.links, b.alpha, b.benefit = links, alpha, benefit
+	}
+}
+
+// beats reports whether (benefit, alpha) would strictly exceed the
+// incumbent's benefit per unit cost.
+func (b *best) beats(benefit int64, alpha int) bool {
+	if b.benefit == 0 {
+		return benefit > 0
+	}
+	return benefit*int64(b.alpha+b.delta) > b.benefit*int64(alpha+b.delta)
+}
+
+// alphaEval is the per-α evaluation record of one greedy iteration.
+type alphaEval struct {
+	// Bipartite exact mode: greedy seed, matching-weight upper bound, and
+	// (phase 2) the exact matching.
+	greedyLinks []graph.Edge
+	greedyW     int64
+	ub          int64
+	exactLinks  []graph.Edge
+	exactW      int64
+	// Other modes (greedy-only, multi-port, bidirectional, chained):
+	// a single candidate.
+	links []graph.Edge
+	w     int64
+}
+
+// bestConfiguration implements Procedure 2 (BestConfiguration) with the
+// optimizations described in DESIGN.md: the α-candidate set of Procedure 1,
+// a two-phase evaluation that computes the cheap greedy matching and a
+// row/column upper bound for every α first and runs the exact matcher only
+// where the bound can still win, and parallel evaluation across α's (the
+// paper's §4.1 notes the per-iteration matchings are embarrassingly
+// parallel). The result is deterministic: it equals a sequential
+// ascending-α scan considering the greedy then the exact matching of each
+// α. Returns a nil link set with benefit 0 when nothing can be served.
+func (s *Scheduler) bestConfiguration(maxAlpha int) ([]graph.Edge, int, int64) {
+	alphas := s.tr.candidateAlphas(maxAlpha)
+	if len(alphas) == 0 {
+		return nil, 0, 0
+	}
+	// Materialize lazily-built state before any parallel read-only phase.
+	s.tr.activeEdges()
+
+	bst := &best{delta: s.opt.Delta}
+	if s.opt.AlphaSearch == AlphaBinary {
+		s.ternarySearch(alphas, bst)
+		return bst.links, bst.alpha, bst.benefit
+	}
+
+	evals := make([]alphaEval, len(alphas))
+	exactBipartite := s.ufabric == nil && !s.opt.MultiHop && s.opt.Ports == 1 && s.opt.Matcher == MatcherExact
+
+	// Phase 1: cheap evaluation of every α.
+	s.parallelFor(len(alphas), func(i int) {
+		a := alphas[i]
+		if exactBipartite {
+			we := s.weightedEdges(a)
+			if len(we) == 0 {
+				return
+			}
+			m, w := matching.GreedyBipartite(s.fabric.N(), we)
+			evals[i].greedyLinks = toLinks(m)
+			evals[i].greedyW = w
+			evals[i].ub = rowColUB(we)
+			return
+		}
+		local := &best{delta: s.opt.Delta}
+		s.evalAlpha(a, local)
+		evals[i].links = local.links
+		evals[i].w = local.benefit
+	})
+
+	if !exactBipartite {
+		for i, a := range alphas {
+			bst.consider(evals[i].links, a, evals[i].w)
+		}
+		return bst.links, bst.alpha, bst.benefit
+	}
+
+	// Reduce the greedy seeds (ascending α; deterministic).
+	seed := &best{delta: s.opt.Delta}
+	for i, a := range alphas {
+		seed.consider(evals[i].greedyLinks, a, evals[i].greedyW)
+	}
+	// Phase 2: exact matchings only where the upper bound can still
+	// strictly beat the best greedy seed. Membership depends only on
+	// phase-1 output, so the computed set — and hence the final result —
+	// is deterministic. An exact matching skipped here satisfies
+	// exact(α) <= ub(α) <= seed ratio, so it can never be the unique
+	// argmax.
+	s.parallelFor(len(alphas), func(i int) {
+		if !seed.beats(evals[i].ub, alphas[i]) {
+			return
+		}
+		we := s.weightedEdges(alphas[i])
+		m, w := matching.MaxWeightBipartite(s.fabric.N(), we)
+		evals[i].exactLinks = toLinks(m)
+		evals[i].exactW = w
+	})
+	// Final reduction mirrors the sequential order: for each α ascending,
+	// greedy first, then the exact matching if computed.
+	for i, a := range alphas {
+		bst.consider(evals[i].greedyLinks, a, evals[i].greedyW)
+		bst.consider(evals[i].exactLinks, a, evals[i].exactW)
+	}
+	return bst.links, bst.alpha, bst.benefit
+}
+
+// parallelFor runs f(0..n-1) across Options.Parallelism workers
+// (Parallelism <= 1 runs inline). The remaining-traffic state is read-only
+// during evaluation, so workers share it without synchronization.
+func (s *Scheduler) parallelFor(n int, f func(i int)) {
+	workers := s.opt.Parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next sync.Mutex
+	idx := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				next.Lock()
+				i := idx
+				idx++
+				next.Unlock()
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ternarySearch finds a local maximum of the benefit-per-unit-cost function
+// over the sorted candidate α's with O(log |A|) full evaluations (the
+// paper's Octopus-B). The function need not be unimodal, so this finds one
+// of its maxima, not necessarily the global one; §8 observes the loss is
+// minimal in practice.
+func (s *Scheduler) ternarySearch(alphas []int, bst *best) {
+	type evald struct {
+		links   []graph.Edge
+		benefit int64
+	}
+	cache := make(map[int]evald)
+	eval := func(i int) evald {
+		a := alphas[i]
+		if e, ok := cache[a]; ok {
+			return e
+		}
+		local := &best{delta: s.opt.Delta}
+		s.evalAlpha(a, local)
+		e := evald{local.links, local.benefit}
+		cache[a] = e
+		return e
+	}
+	ratioLess := func(i, j int) bool {
+		ei, ej := eval(i), eval(j)
+		return ei.benefit*int64(alphas[j]+s.opt.Delta) < ej.benefit*int64(alphas[i]+s.opt.Delta)
+	}
+	lo, hi := 0, len(alphas)-1
+	for hi-lo > 2 {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if ratioLess(m1, m2) {
+			lo = m1 + 1
+		} else {
+			hi = m2 - 1
+		}
+	}
+	for i := lo; i <= hi; i++ {
+		e := eval(i)
+		bst.consider(e.links, alphas[i], e.benefit)
+	}
+}
+
+// evalAlpha fully evaluates the best configuration for one α (both
+// matchers where applicable) and feeds it to bst. It only reads the
+// remaining-traffic state.
+func (s *Scheduler) evalAlpha(a int, bst *best) {
+	switch {
+	case s.ufabric != nil:
+		s.evalBidirectional(a, bst)
+	case s.opt.MultiHop:
+		links, benefit := s.chainedGreedy(a)
+		bst.consider(links, a, benefit)
+	case s.opt.Ports > 1:
+		s.evalMultiPort(a, bst)
+	default:
+		we := s.weightedEdges(a)
+		if len(we) == 0 {
+			return
+		}
+		n := s.fabric.N()
+		gm, gw := matching.GreedyBipartite(n, we)
+		bst.consider(toLinks(gm), a, gw)
+		if s.opt.Matcher == MatcherGreedy {
+			return
+		}
+		m, w := matching.MaxWeightBipartite(n, we)
+		bst.consider(toLinks(m), a, w)
+	}
+}
+
+// weightedEdges builds the weighted graph G' of Procedure 2: every active
+// link weighted by g(i, j, α). The result is ordered by (From, To).
+func (s *Scheduler) weightedEdges(a int) []matching.Edge {
+	var we []matching.Edge
+	for _, e := range s.tr.activeEdges() {
+		if w := s.tr.gValue(e, a); w > 0 {
+			we = append(we, matching.Edge{From: e.From, To: e.To, Weight: w})
+		}
+	}
+	return we
+}
+
+// rowColUB is a cheap upper bound on the maximum-weight matching: the
+// smaller of the row-maxima sum and the column-maxima sum.
+func rowColUB(we []matching.Edge) int64 {
+	rowMax := make(map[int]int64)
+	colMax := make(map[int]int64)
+	for _, e := range we {
+		if e.Weight > rowMax[e.From] {
+			rowMax[e.From] = e.Weight
+		}
+		if e.Weight > colMax[e.To] {
+			colMax[e.To] = e.Weight
+		}
+	}
+	var rs, cs int64
+	for _, w := range rowMax {
+		rs += w
+	}
+	for _, w := range colMax {
+		cs += w
+	}
+	if cs < rs {
+		return cs
+	}
+	return rs
+}
+
+func toLinks(m []matching.Edge) []graph.Edge {
+	if len(m) == 0 {
+		return nil
+	}
+	links := make([]graph.Edge, len(m))
+	for i, e := range m {
+		links[i] = graph.Edge{From: e.From, To: e.To}
+	}
+	sortLinks(links)
+	return links
+}
+
+func sortLinks(links []graph.Edge) {
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+}
+
+// evalMultiPort greedily composes r edge-disjoint matchings (§7, K ports
+// per node). Committed subflows queue on exactly one link, so matchings
+// over disjoint edge sets serve disjoint packet sets and benefits add
+// exactly; no weight recomputation is needed between the r rounds.
+func (s *Scheduler) evalMultiPort(a int, bst *best) {
+	we := s.weightedEdges(a)
+	if len(we) == 0 {
+		return
+	}
+	n := s.fabric.N()
+	used := make(map[graph.Edge]bool)
+	var links []graph.Edge
+	var total int64
+	avail := we
+	for r := 0; r < s.opt.Ports; r++ {
+		var m []matching.Edge
+		var w int64
+		if s.opt.Matcher == MatcherGreedy {
+			m, w = matching.GreedyBipartite(n, avail)
+		} else {
+			m, w = matching.MaxWeightBipartite(n, avail)
+		}
+		if w <= 0 {
+			break
+		}
+		total += w
+		for _, e := range m {
+			ge := graph.Edge{From: e.From, To: e.To}
+			used[ge] = true
+			links = append(links, ge)
+		}
+		next := avail[:0:0]
+		for _, e := range avail {
+			if !used[graph.Edge{From: e.From, To: e.To}] {
+				next = append(next, e)
+			}
+		}
+		avail = next
+	}
+	if total > 0 {
+		sortLinks(links)
+		bst.consider(links, a, total)
+	}
+}
+
+// evalBidirectional handles the undirected fabric of §7: the weight of an
+// undirected link is the sum of its two directions' g values, and the
+// configuration is a matching of the undirected graph — exact via the
+// blossom algorithm (the general-graph matcher the paper's §7 calls for)
+// with MatcherExact, or the greedy matcher plus a local-improvement pass
+// with MatcherGreedy.
+func (s *Scheduler) evalBidirectional(a int, bst *best) {
+	sum := make(map[graph.UEdge]int64)
+	for _, e := range s.tr.activeEdges() {
+		if w := s.tr.gValue(e, a); w > 0 {
+			sum[graph.NormUEdge(e.From, e.To)] += w
+		}
+	}
+	if len(sum) == 0 {
+		return
+	}
+	ue := make([]matching.UEdge, 0, len(sum))
+	for e, w := range sum {
+		ue = append(ue, matching.UEdge{A: e.A, B: e.B, Weight: w})
+	}
+	sort.Slice(ue, func(i, j int) bool {
+		if ue[i].A != ue[j].A {
+			return ue[i].A < ue[j].A
+		}
+		return ue[i].B < ue[j].B
+	})
+	n := s.fabric.N()
+	var m []matching.UEdge
+	var w int64
+	if s.opt.Matcher == MatcherGreedy {
+		m, _ = matching.GreedyGeneral(n, ue)
+		m, w = matching.AugmentGeneral(n, ue, m)
+	} else {
+		m, w = matching.MaxWeightGeneral(n, ue)
+	}
+	if w <= 0 {
+		return
+	}
+	links := make([]graph.Edge, 0, 2*len(m))
+	for _, e := range m {
+		links = append(links, graph.Edge{From: e.A, To: e.B}, graph.Edge{From: e.B, To: e.A})
+	}
+	sortLinks(links)
+	bst.consider(links, a, w)
+}

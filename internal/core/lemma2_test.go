@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+)
+
+// TestLemma2WeakSubmodularity empirically validates the key inequality
+// behind Theorem 1 (Lemma 2): for any already-applied sequence S and any
+// set of configurations O₁..O_k,
+//
+//	B(⟨O₁,…,O_k⟩, S) ≤ 𝒟 · Σⱼ B(Oⱼ, S).
+//
+// (ψ itself is not submodular — Example 1 in the paper shows a config's
+// benefit can grow as S grows — but this weaker bound holds and suffices
+// for the approximation proof.)
+func TestLemma2WeakSubmodularity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(5)
+		g := graph.Complete(n)
+		p := traffic.DefaultSyntheticParams(n, 60)
+		load, err := traffic.Synthetic(g, p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := int64(load.MaxHops())
+		randomConfig := func() ([]graph.Edge, int) {
+			var links []graph.Edge
+			usedF := map[int]bool{}
+			usedT := map[int]bool{}
+			for tries := 0; tries < 4; tries++ {
+				i, j := rng.Intn(n), rng.Intn(n)
+				if i != j && !usedF[i] && !usedT[j] {
+					links = append(links, graph.Edge{From: i, To: j})
+					usedF[i] = true
+					usedT[j] = true
+				}
+			}
+			return links, 1 + rng.Intn(20)
+		}
+		// A random prefix sequence S.
+		type cfg struct {
+			links []graph.Edge
+			alpha int
+		}
+		var prefix []cfg
+		for k := 0; k < rng.Intn(4); k++ {
+			l, a := randomConfig()
+			prefix = append(prefix, cfg{l, a})
+		}
+		var os []cfg
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			l, a := randomConfig()
+			os = append(os, cfg{l, a})
+		}
+		// build replays S on a fresh T^r.
+		build := func() *remaining {
+			tr := newRemaining(g, load, 0, false, false, false)
+			for _, c := range prefix {
+				tr.apply(c.links, c.alpha)
+			}
+			return tr
+		}
+		// LHS: benefit of the whole sequence applied after S.
+		tr := build()
+		before := tr.psi
+		for _, c := range os {
+			tr.apply(c.links, c.alpha)
+		}
+		lhs := tr.psi - before
+		// RHS: Σ individual benefits, each evaluated right after S.
+		var sum int64
+		for _, c := range os {
+			tri := build()
+			b := tri.psi
+			tri.apply(c.links, c.alpha)
+			sum += tri.psi - b
+		}
+		if lhs > d*sum {
+			t.Fatalf("trial %d: B(seq)=%d exceeds 𝒟·ΣB = %d·%d", trial, lhs, d, sum)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package core implements the paper's primary contribution: the Octopus
+// family of greedy approximation algorithms for the multi-hop scheduling
+// (MHS) problem in general circuit-switched networks.
+//
+// Octopus iteratively picks the configuration (M, α) with the highest
+// benefit per unit cost, where the benefit is the maximum total weight of
+// packet-hops the configuration can serve given the remaining traffic T^r
+// (paper §4), yielding a (1 - 1/e^{1/𝒟})·W/(W+Δ) approximation of the
+// weighted packet-hops objective ψ (Theorem 1). Options select the paper's
+// variants: Octopus-B (binary search over α), Octopus-G (greedy matching),
+// Octopus-e (ε-weighted later hops), multi-hop-per-configuration chaining
+// (Theorem 2), K ports per node and bidirectional links (§7), and the
+// Octopus+ joint routing/scheduling algorithm with direct-link backtracking
+// (§6, Theorem 3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"octopus/internal/graph"
+	"octopus/internal/schedule"
+	"octopus/internal/traffic"
+)
+
+// Matcher selects the maximum-weight-matching algorithm used to pick each
+// configuration.
+type Matcher int
+
+const (
+	// MatcherExact uses the exact Hungarian matcher (the paper's Octopus).
+	MatcherExact Matcher = iota
+	// MatcherGreedy uses the linear-time greedy 2-approximate matcher
+	// (the paper's Octopus-G).
+	MatcherGreedy
+)
+
+// AlphaSearch selects how the per-iteration α candidates are explored.
+type AlphaSearch int
+
+const (
+	// AlphaFull evaluates every candidate α (the paper's Octopus).
+	AlphaFull AlphaSearch = iota
+	// AlphaBinary ternary-searches the sorted candidates for a local
+	// maximum of benefit-per-unit-cost (the paper's Octopus-B), reducing
+	// the matchings per iteration to O(log |A|).
+	AlphaBinary
+)
+
+// Options configures a Scheduler. Window and Delta are required; the zero
+// value of every other field selects plain Octopus.
+type Options struct {
+	Window int // W, the scheduling window in time slots
+	Delta  int // Δ, the reconfiguration delay in time slots
+
+	Matcher     Matcher
+	AlphaSearch AlphaSearch
+
+	// Epsilon64 enables Octopus-e: the benefit of the hop x hops from the
+	// source is weighted by (1 + x·Epsilon64/64). 0 disables the bonus.
+	Epsilon64 int
+
+	// MultiHop enables the Theorem 2 variant: configuration benefit
+	// accounts for packets chaining across consecutive links of the
+	// matching, and the matching is built greedily edge-by-edge. Plan
+	// bookkeeping still advances packets one hop per configuration (a
+	// conservative lower bound); replay the schedule with
+	// simulate.Options.MultiHop to measure the chained delivery.
+	MultiHop bool
+
+	// Ports is the number of input and output ports per node (§7);
+	// 0 or 1 selects the single-port model. With Ports = r each
+	// configuration is a union of r edge-disjoint matchings picked
+	// greedily.
+	Ports int
+
+	// MultiRoute enables Octopus+ (§6): flows may carry several candidate
+	// routes, the route choice is made at the first hop, and packets may
+	// backtrack to a direct source->destination link.
+	MultiRoute bool
+
+	// DisableBacktrack turns off Octopus+ backtracking (ablation).
+	DisableBacktrack bool
+
+	// KeepTrace records every planned packet movement so the plan can be
+	// verified by Result.VerifyPlan. Costs memory proportional to the
+	// number of (configuration, link, subflow) service events.
+	KeepTrace bool
+
+	// Parallelism is the number of goroutines evaluating α candidates in
+	// one iteration (the per-α matchings are independent; §4.1 notes they
+	// are embarrassingly parallel). 0 uses GOMAXPROCS; 1 runs serially.
+	// The result is identical at any parallelism level.
+	Parallelism int
+}
+
+// Scheduler runs the Octopus greedy loop over a fabric and traffic load.
+// Create one with New or NewBidirectional; each Step plans one
+// configuration, and Run drains the loop.
+type Scheduler struct {
+	fabric  *graph.Digraph
+	ufabric *graph.Ugraph // non-nil in bidirectional mode
+	load    *traffic.Load
+	opt     Options
+	tr      *remaining
+	out     schedule.Schedule
+	used    int
+	iters   int
+	done    bool
+}
+
+// Result is the outcome of a completed Run: the schedule plus the plan's
+// own bookkeeping of what it routes. For single-route loads the plan
+// bookkeeping matches a packet-level replay exactly (asserted in tests);
+// for Octopus+ plans the bookkeeping is authoritative (backtracking revises
+// the plan in ways a forward replay cannot reproduce) and can be checked
+// with VerifyPlan.
+type Result struct {
+	Schedule     *schedule.Schedule
+	Psi          int64 // planned ψ in traffic.WeightScale units
+	Hops         int   // planned packet-hops
+	Delivered    int   // planned packets delivered
+	Pending      int   // packets left undelivered by the plan
+	TotalPackets int
+	Iterations   int
+
+	trace      []servedRecord
+	load       *traffic.Load
+	g          *graph.Digraph
+	multiRoute bool
+}
+
+// ErrWindowTooSmall is returned when the window cannot fit even one
+// configuration (W <= Δ).
+var ErrWindowTooSmall = errors.New("core: window does not fit a single configuration")
+
+// New returns a Scheduler for the MHS problem instance (g, load) under opt.
+func New(g *graph.Digraph, load *traffic.Load, opt Options) (*Scheduler, error) {
+	if err := checkOptions(&opt, load, false); err != nil {
+		return nil, err
+	}
+	if err := load.Validate(g); err != nil {
+		return nil, err
+	}
+	s := &Scheduler{fabric: g, load: load, opt: opt}
+	s.init()
+	return s, nil
+}
+
+// NewBidirectional returns a Scheduler for a network with bidirectional
+// links (§7): configurations are matchings of the undirected fabric u, and
+// every active link carries one packet per slot in each direction. Routes
+// in load must be paths of u's directed view.
+func NewBidirectional(u *graph.Ugraph, load *traffic.Load, opt Options) (*Scheduler, error) {
+	if err := checkOptions(&opt, load, true); err != nil {
+		return nil, err
+	}
+	d := u.Directed()
+	if err := load.Validate(d); err != nil {
+		return nil, err
+	}
+	s := &Scheduler{fabric: d, ufabric: u, load: load, opt: opt}
+	s.init()
+	return s, nil
+}
+
+func (s *Scheduler) init() {
+	backtrack := s.opt.MultiRoute && !s.opt.DisableBacktrack
+	s.tr = newRemaining(s.fabric, s.load, s.opt.Epsilon64, s.opt.MultiRoute, backtrack, s.opt.KeepTrace)
+	s.out = schedule.Schedule{Delta: s.opt.Delta}
+}
+
+func checkOptions(opt *Options, load *traffic.Load, bidirectional bool) error {
+	if opt.Window <= 0 {
+		return errors.New("core: Window must be positive")
+	}
+	if opt.Delta < 0 {
+		return errors.New("core: Delta must be non-negative")
+	}
+	if opt.Window <= opt.Delta {
+		return ErrWindowTooSmall
+	}
+	if opt.Ports == 0 {
+		opt.Ports = 1
+	}
+	if opt.Ports < 1 {
+		return errors.New("core: Ports must be positive")
+	}
+	if opt.Epsilon64 < 0 || opt.Epsilon64 > 64*traffic.MaxRouteLen {
+		return fmt.Errorf("core: Epsilon64 %d out of range", opt.Epsilon64)
+	}
+	if opt.MultiRoute && (opt.Ports > 1 || opt.MultiHop || bidirectional) {
+		return errors.New("core: MultiRoute cannot be combined with Ports>1, MultiHop, or bidirectional fabrics")
+	}
+	if bidirectional && opt.Ports > 1 {
+		return errors.New("core: bidirectional fabrics support only Ports=1")
+	}
+	// Overflow guard: cross-multiplied benefit/cost comparisons must fit
+	// in int64.
+	d := load.MaxHops()
+	if d == 0 {
+		d = 1
+	}
+	maxBW := float64(traffic.WeightScale) * (1 + float64(d)*float64(opt.Epsilon64)/64)
+	if float64(load.TotalPackets())*maxBW >= math.MaxInt64/float64(opt.Window+opt.Delta+1)/2 {
+		return errors.New("core: instance too large for exact integer benefit arithmetic")
+	}
+	return nil
+}
+
+// Done reports whether the greedy loop has terminated.
+func (s *Scheduler) Done() bool { return s.done }
+
+// Used returns the window slots consumed so far (Σ (αₖ + Δ)).
+func (s *Scheduler) Used() int { return s.used }
+
+// Pending returns the number of packets the plan has not yet delivered.
+func (s *Scheduler) Pending() int { return s.tr.pending }
+
+// PendingByFlow returns, for each flow ID with undelivered packets, how
+// many of its packets the plan has not delivered. The UB baseline uses this
+// to account per-hop service of the one-hop load.
+func (s *Scheduler) PendingByFlow() map[int]int {
+	m := make(map[int]int)
+	for _, sf := range s.tr.byKey {
+		if sf.count > 0 {
+			m[sf.flow.ID] += sf.count
+		}
+	}
+	return m
+}
+
+// Step plans one greedy iteration: it selects the configuration with the
+// highest benefit per unit cost, applies it to the remaining traffic, and
+// returns it. ok is false when the loop has terminated (window exhausted,
+// traffic fully served, or no configuration with positive benefit).
+func (s *Scheduler) Step() (cfg schedule.Configuration, ok bool, err error) {
+	if s.done {
+		return schedule.Configuration{}, false, nil
+	}
+	maxAlpha := s.opt.Window - s.used - s.opt.Delta
+	if maxAlpha <= 0 || s.tr.pending == 0 {
+		s.done = true
+		return schedule.Configuration{}, false, nil
+	}
+	links, alpha, benefit := s.bestConfiguration(maxAlpha)
+	if benefit <= 0 {
+		s.done = true
+		return schedule.Configuration{}, false, nil
+	}
+	s.tr.apply(links, alpha)
+	cfg = schedule.Configuration{Links: links, Alpha: alpha}
+	s.out.Configs = append(s.out.Configs, cfg)
+	s.used += alpha + s.opt.Delta
+	s.iters++
+	return cfg, true, nil
+}
+
+// Run drives the greedy loop to completion and returns the planned
+// schedule and its bookkeeping.
+func (s *Scheduler) Run() (*Result, error) {
+	for {
+		if _, ok, err := s.Step(); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	out := s.out // copy header; Configs slice is final
+	return &Result{
+		Schedule:     &out,
+		Psi:          s.tr.psi,
+		Hops:         s.tr.hops,
+		Delivered:    s.tr.delivered,
+		Pending:      s.tr.pending,
+		TotalPackets: s.load.TotalPackets(),
+		Iterations:   s.iters,
+		trace:        s.tr.trace,
+		load:         s.load,
+		g:            s.fabric,
+		multiRoute:   s.opt.MultiRoute,
+	}, nil
+}

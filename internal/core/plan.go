@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+)
+
+// VerifyPlan replays the recorded service trace of a Result produced with
+// Options.KeepTrace and checks that the plan is physically consistent:
+//
+//   - every service event uses a link present in its configuration, and no
+//     link serves more than α packets per configuration;
+//   - packets move only forward along a valid route of their flow (or
+//     backtrack onto an existing direct source->destination link), and no
+//     subflow goes negative;
+//   - the plan's ψ, hop, delivered and pending accounting matches an
+//     independent recomputation.
+//
+// This is the correctness check for Octopus+ schedules, whose backtracking
+// revises earlier routing decisions and therefore cannot be validated by a
+// forward packet-level replay (see DESIGN.md).
+func (r *Result) VerifyPlan() error {
+	if r.trace == nil {
+		return fmt.Errorf("core: no trace recorded; run with Options.KeepTrace")
+	}
+	flows := make(map[int]*traffic.Flow, len(r.load.Flows))
+	counts := make(map[sfKey]int)
+	for i := range r.load.Flows {
+		f := &r.load.Flows[i]
+		flows[f.ID] = f
+		key := sfKey{f.ID, 0, 0}
+		if r.multiRoute && len(f.Routes) > 1 {
+			key = sfKey{f.ID, -1, 0}
+		}
+		counts[key] += f.Size
+	}
+
+	type linkUse struct {
+		config int
+		link   graph.Edge
+	}
+	served := make(map[linkUse]int)
+	inConfig := make(map[linkUse]bool)
+	for ci, cfg := range r.Schedule.Configs {
+		for _, e := range cfg.Links {
+			inConfig[linkUse{ci, e}] = true
+		}
+	}
+
+	var psi int64
+	var hops, delivered int
+	lastConfig := 0
+	for ri, rec := range r.trace {
+		if rec.Config < lastConfig || rec.Config >= len(r.Schedule.Configs) {
+			return fmt.Errorf("core: record %d has out-of-order config %d", ri, rec.Config)
+		}
+		lastConfig = rec.Config
+		lu := linkUse{rec.Config, rec.Link}
+		if !inConfig[lu] {
+			return fmt.Errorf("core: record %d serves link %v absent from configuration %d", ri, rec.Link, rec.Config)
+		}
+		served[lu] += rec.Count
+		if served[lu] > r.Schedule.Configs[rec.Config].Alpha {
+			return fmt.Errorf("core: configuration %d link %v serves %d > α=%d packets",
+				rec.Config, rec.Link, served[lu], r.Schedule.Configs[rec.Config].Alpha)
+		}
+		if rec.Count <= 0 {
+			return fmt.Errorf("core: record %d has non-positive count", ri)
+		}
+		if counts[rec.Key] < rec.Count {
+			return fmt.Errorf("core: record %d overdraws subflow %+v (%d < %d)", ri, rec.Key, counts[rec.Key], rec.Count)
+		}
+		f := flows[rec.Key.flowID]
+		if f == nil {
+			return fmt.Errorf("core: record %d references unknown flow %d", ri, rec.Key.flowID)
+		}
+		counts[rec.Key] -= rec.Count
+
+		if rec.Backtrack {
+			if rec.Key.pos == 0 || rec.Key.routeID < 0 {
+				return fmt.Errorf("core: record %d backtracks a packet still at its source", ri)
+			}
+			if rec.Link != (graph.Edge{From: f.Src, To: f.Dst}) {
+				return fmt.Errorf("core: record %d backtracks over non-direct link %v", ri, rec.Link)
+			}
+			if !r.g.HasEdge(f.Src, f.Dst) {
+				return fmt.Errorf("core: record %d backtracks over absent direct link", ri)
+			}
+			l := f.WeightLen(f.Routes[rec.Key.routeID])
+			psi += int64(rec.Count) * (traffic.Weight(1) - int64(rec.Key.pos)*traffic.Weight(l))
+			hops += rec.Count * (1 - rec.Key.pos)
+			delivered += rec.Count
+			continue
+		}
+
+		routeID := rec.Key.routeID
+		if routeID == -1 {
+			routeID = rec.RouteID
+			if rec.Key.pos != 0 {
+				return fmt.Errorf("core: record %d commits a non-source subflow", ri)
+			}
+		}
+		if routeID < 0 || routeID >= len(f.Routes) {
+			return fmt.Errorf("core: record %d has route index %d out of range", ri, routeID)
+		}
+		route := f.Routes[routeID]
+		pos := rec.Key.pos
+		if pos+1 >= len(route) {
+			return fmt.Errorf("core: record %d advances past destination", ri)
+		}
+		want := graph.Edge{From: route[pos], To: route[pos+1]}
+		if rec.Link != want {
+			return fmt.Errorf("core: record %d serves %v but route hop is %v", ri, rec.Link, want)
+		}
+		psi += int64(rec.Count) * traffic.Weight(f.WeightLen(route))
+		hops += rec.Count
+		if pos+1 == len(route)-1 {
+			delivered += rec.Count
+		} else {
+			counts[sfKey{f.ID, routeID, pos + 1}] += rec.Count
+		}
+	}
+
+	if delivered != r.Delivered {
+		return fmt.Errorf("core: trace delivers %d, result claims %d", delivered, r.Delivered)
+	}
+	if hops != r.Hops {
+		return fmt.Errorf("core: trace hops %d, result claims %d", hops, r.Hops)
+	}
+	if psi != r.Psi {
+		return fmt.Errorf("core: trace ψ %d, result claims %d", psi, r.Psi)
+	}
+	total := r.TotalPackets
+	if total-delivered != r.Pending {
+		return fmt.Errorf("core: pending mismatch: %d vs %d", total-delivered, r.Pending)
+	}
+	return nil
+}

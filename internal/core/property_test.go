@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"octopus/internal/graph"
+	"octopus/internal/simulate"
+	"octopus/internal/traffic"
+)
+
+// randomSmallLoad builds a small random multi-route load over Complete(n).
+func randomSmallLoad(seed int64) (*graph.Digraph, *traffic.Load) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + rng.Intn(6)
+	g := graph.Complete(n)
+	load := &traffic.Load{}
+	for f := 0; f < 1+rng.Intn(8); f++ {
+		src := rng.Intn(n)
+		dst := (src + 1 + rng.Intn(n-1)) % n
+		var routes []traffic.Route
+		for r := 0; r < 1+rng.Intn(3); r++ {
+			hops := 1 + rng.Intn(3)
+			route, ok := traffic.RandomRoute(g, src, dst, hops, rng)
+			if !ok {
+				continue
+			}
+			dup := false
+			for _, prev := range routes {
+				if prev.Equal(route) {
+					dup = true
+				}
+			}
+			if !dup {
+				routes = append(routes, route)
+			}
+		}
+		if len(routes) == 0 {
+			continue
+		}
+		load.Flows = append(load.Flows, traffic.Flow{
+			ID: f + 1, Size: 1 + rng.Intn(30), Src: src, Dst: dst, Routes: routes,
+		})
+	}
+	return g, load
+}
+
+// Property: every Octopus variant conserves packets, respects the window,
+// and produces a valid schedule; Octopus+ plans additionally verify.
+func TestSchedulerInvariantsProperty(t *testing.T) {
+	f := func(seed int64, variant uint8) bool {
+		g, load := randomSmallLoad(seed)
+		if len(load.Flows) == 0 {
+			return true
+		}
+		opt := Options{Window: 100 + int(seed%200+200)%200, Delta: 5, KeepTrace: true}
+		switch variant % 5 {
+		case 1:
+			opt.Matcher = MatcherGreedy
+		case 2:
+			opt.AlphaSearch = AlphaBinary
+		case 3:
+			opt.MultiRoute = true
+		case 4:
+			opt.Epsilon64 = int(variant % 16)
+		}
+		s, err := New(g, load, opt)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if res.Delivered+res.Pending != res.TotalPackets {
+			return false
+		}
+		if res.Schedule.Cost() > opt.Window {
+			return false
+		}
+		if err := res.Schedule.Validate(g, opt.Window, 1); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := res.VerifyPlan(); err != nil {
+			t.Logf("seed %d: verify: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: plan bookkeeping and simulator replay agree exactly for every
+// single-route variant.
+func TestAgreementProperty(t *testing.T) {
+	f := func(seed int64, greedy bool, eps uint8) bool {
+		g, load := randomSmallLoad(seed)
+		if len(load.Flows) == 0 {
+			return true
+		}
+		// Force single-route loads.
+		for i := range load.Flows {
+			load.Flows[i].Routes = load.Flows[i].Routes[:1]
+		}
+		opt := Options{Window: 150, Delta: 4, Epsilon64: int(eps % 8)}
+		if greedy {
+			opt.Matcher = MatcherGreedy
+		}
+		s, err := New(g, load, opt)
+		if err != nil {
+			return false
+		}
+		res, err := s.Run()
+		if err != nil {
+			return false
+		}
+		sim, err := simulate.Run(g, load, res.Schedule, simulate.Options{Epsilon64: opt.Epsilon64})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return sim.Delivered == res.Delivered && sim.Psi == res.Psi && sim.Hops == res.Hops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the scheduler is deterministic, including under parallel α
+// evaluation.
+func TestParallelDeterminismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, load := randomSmallLoad(seed)
+		if len(load.Flows) == 0 {
+			return true
+		}
+		run := func(par int) *Result {
+			s, err := New(g, load, Options{Window: 200, Delta: 6, Parallelism: par})
+			if err != nil {
+				return nil
+			}
+			res, err := s.Run()
+			if err != nil {
+				return nil
+			}
+			return res
+		}
+		a, b := run(1), run(4)
+		if a == nil || b == nil {
+			return false
+		}
+		if a.Psi != b.Psi || a.Delivered != b.Delivered || len(a.Schedule.Configs) != len(b.Schedule.Configs) {
+			return false
+		}
+		for i := range a.Schedule.Configs {
+			ca, cb := a.Schedule.Configs[i], b.Schedule.Configs[i]
+			if ca.Alpha != cb.Alpha || len(ca.Links) != len(cb.Links) {
+				return false
+			}
+			for j := range ca.Links {
+				if ca.Links[j] != cb.Links[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: link queues stay sorted by (benefit weight desc, flow ID asc).
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, load := randomSmallLoad(seed)
+		if len(load.Flows) == 0 {
+			return true
+		}
+		tr := newRemaining(g, load, 3, true, true, false)
+		rng := rand.New(rand.NewSource(seed))
+		for k := 0; k < 10; k++ {
+			var links []graph.Edge
+			i, j := rng.Intn(g.N()), rng.Intn(g.N())
+			if i != j {
+				links = append(links, graph.Edge{From: i, To: j})
+			}
+			tr.apply(links, 1+rng.Intn(10))
+		}
+		for _, ls := range tr.links {
+			for i := 1; i < len(ls.entries); i++ {
+				a, b := ls.entries[i-1], ls.entries[i]
+				if a.bw < b.bw {
+					return false
+				}
+				if a.bw == b.bw && a.sf.flow.ID > b.sf.flow.ID {
+					return false
+				}
+			}
+		}
+		return tr.sanity() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

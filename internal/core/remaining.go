@@ -1,0 +1,413 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+)
+
+// sfKey identifies a subflow of the remaining traffic T^r: packets of one
+// flow that have committed to one route and sit at the same position along
+// it. routeID is the index into Flow.Routes, or -1 for packets still at
+// their source with the route choice open (Octopus+ only).
+type sfKey struct {
+	flowID  int
+	routeID int
+	pos     int
+}
+
+// subflow is a group of identical packets of the remaining traffic.
+type subflow struct {
+	key   sfKey
+	flow  *traffic.Flow
+	route traffic.Route // nil while uncommitted
+	count int
+	// frozen is the number of packets that arrived during the
+	// configuration currently being applied; they may not move again until
+	// the next configuration (a packet traverses at most one hop per
+	// configuration in the plan bookkeeping).
+	frozen int
+}
+
+// node returns the subflow's current node.
+func (sf *subflow) node() int {
+	if sf.route == nil {
+		return sf.flow.Src
+	}
+	return sf.route[sf.key.pos]
+}
+
+// entry is one appearance of a subflow in a link's virtual output queue.
+// A committed subflow has one entry (on its next-hop link) plus, with
+// backtracking enabled, one on the direct source->destination link. An
+// uncommitted subflow has one entry per distinct candidate first-hop link.
+type entry struct {
+	sf *subflow
+	// bw is the per-packet benefit weight at this link (includes the
+	// Octopus-e ε hop bonus); queues order by bw desc, then flow ID asc.
+	bw int64
+	// pw is the per-packet base ψ weight of the route this entry advances
+	// the packet along (no ε), used for ψ accounting.
+	pw int64
+	// routeID is the route the packet commits to when served through this
+	// entry (meaningful for uncommitted subflows; equals sf.key.routeID
+	// otherwise).
+	routeID int
+	// backtrack marks a direct-link entry that annuls the packet's prior
+	// multi-hop progress when served (Octopus+ §6).
+	backtrack bool
+}
+
+// linkState is the priority queue of entries for one directed link.
+type linkState struct {
+	entries []*entry
+}
+
+func (ls *linkState) insert(e *entry) {
+	i := sort.Search(len(ls.entries), func(i int) bool {
+		o := ls.entries[i]
+		if o.bw != e.bw {
+			return o.bw < e.bw
+		}
+		if o.sf.flow.ID != e.sf.flow.ID {
+			return o.sf.flow.ID > e.sf.flow.ID
+		}
+		return o.sf.key.pos >= e.sf.key.pos
+	})
+	ls.entries = append(ls.entries, nil)
+	copy(ls.entries[i+1:], ls.entries[i:])
+	ls.entries[i] = e
+}
+
+// Entries are never removed from a queue: a subflow drained now can be
+// refilled later by upstream arrivals of the same flow, and its entry must
+// still be present. Zero-count entries are skipped during iteration; the
+// total number of entries is bounded by the number of subflows (|T|·𝒟).
+
+// servedRecord traces one bulk packet movement for plan verification.
+type servedRecord struct {
+	Config    int // configuration index in the schedule
+	Link      graph.Edge
+	Key       sfKey
+	RouteID   int
+	Count     int
+	Backtrack bool
+}
+
+// remaining is the remaining traffic load T^r plus the plan accounting the
+// greedy loop maintains while building a schedule.
+type remaining struct {
+	g          *graph.Digraph
+	links      map[graph.Edge]*linkState
+	edgeList   []graph.Edge // sorted keys of links; rebuilt lazily
+	edgesDirty bool
+	byKey      map[sfKey]*subflow
+
+	eps        int  // Octopus-e ε in 1/64 units
+	multiRoute bool // Octopus+ first-hop route choice
+	backtrack  bool // Octopus+ direct-link backtracking
+
+	// Plan accounting (bookkeeping of the schedule under construction).
+	psi       int64
+	hops      int
+	delivered int
+	pending   int // packets not yet delivered
+
+	trace     []servedRecord
+	keepTrace bool
+	configIdx int
+	touched   []*subflow // subflows with frozen packets from the current apply
+}
+
+// newRemaining builds T^r = T.
+func newRemaining(g *graph.Digraph, load *traffic.Load, eps int, multiRoute, backtrack, keepTrace bool) *remaining {
+	tr := &remaining{
+		g:          g,
+		links:      make(map[graph.Edge]*linkState),
+		byKey:      make(map[sfKey]*subflow),
+		eps:        eps,
+		multiRoute: multiRoute,
+		backtrack:  backtrack,
+		keepTrace:  keepTrace,
+	}
+	for i := range load.Flows {
+		f := &load.Flows[i]
+		tr.pending += f.Size
+		if !tr.multiRoute || len(f.Routes) == 1 {
+			sf := &subflow{key: sfKey{f.ID, 0, 0}, flow: f, route: f.Routes[0], count: f.Size}
+			tr.byKey[sf.key] = sf
+			tr.addCommittedEntry(sf)
+			continue
+		}
+		sf := &subflow{key: sfKey{f.ID, -1, 0}, flow: f, count: f.Size}
+		tr.byKey[sf.key] = sf
+		tr.addUncommittedEntries(sf)
+	}
+	return tr
+}
+
+// hopBW returns the benefit weight of the hop at index pos of an l-hop
+// route under the current ε.
+func (tr *remaining) hopBW(l, pos int) int64 { return traffic.HopWeight(l, pos, tr.eps) }
+
+func (tr *remaining) link(e graph.Edge) *linkState {
+	ls := tr.links[e]
+	if ls == nil {
+		ls = &linkState{}
+		tr.links[e] = ls
+		tr.edgesDirty = true
+	}
+	return ls
+}
+
+// addCommittedEntry queues a committed subflow on its next-hop link and,
+// when backtracking applies, on the direct source->destination link.
+func (tr *remaining) addCommittedEntry(sf *subflow) {
+	l := sf.flow.WeightLen(sf.route)
+	pos := sf.key.pos
+	e := graph.Edge{From: sf.route[pos], To: sf.route[pos+1]}
+	tr.link(e).insert(&entry{
+		sf: sf, bw: tr.hopBW(l, pos), pw: traffic.Weight(l), routeID: sf.key.routeID,
+	})
+	if tr.backtrack && pos > 0 && tr.g.HasEdge(sf.flow.Src, sf.flow.Dst) {
+		direct := graph.Edge{From: sf.flow.Src, To: sf.flow.Dst}
+		tr.link(direct).insert(&entry{
+			sf: sf, bw: tr.hopBW(1, 0), pw: traffic.Weight(1), routeID: -1, backtrack: true,
+		})
+	}
+}
+
+// addUncommittedEntries queues an uncommitted source subflow once on each
+// distinct candidate first-hop link. When several candidate routes share a
+// first hop, the packet is considered only once on that link (paper §6,
+// "Allowing Routes with Common First Hops"); we credit it with the best
+// (shortest-route) weight among them and commit to that route when served.
+func (tr *remaining) addUncommittedEntries(sf *subflow) {
+	best := make(map[graph.Edge]int) // link -> route index with max weight
+	for ri, r := range sf.flow.Routes {
+		e := graph.Edge{From: r[0], To: r[1]}
+		if prev, ok := best[e]; !ok || r.Hops() < sf.flow.Routes[prev].Hops() {
+			best[e] = ri
+		}
+	}
+	// Deterministic order of entry insertion.
+	links := make([]graph.Edge, 0, len(best))
+	for e := range best {
+		links = append(links, e)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	for _, e := range links {
+		ri := best[e]
+		l := sf.flow.WeightLen(sf.flow.Routes[ri])
+		tr.link(e).insert(&entry{
+			sf: sf, bw: tr.hopBW(l, 0), pw: traffic.Weight(l), routeID: ri,
+		})
+	}
+}
+
+// activeEdges returns the sorted list of links with at least one queued
+// packet.
+func (tr *remaining) activeEdges() []graph.Edge {
+	if tr.edgesDirty {
+		tr.edgeList = tr.edgeList[:0]
+		for e, ls := range tr.links {
+			if len(ls.entries) > 0 {
+				tr.edgeList = append(tr.edgeList, e)
+			}
+		}
+		sort.Slice(tr.edgeList, func(i, j int) bool {
+			if tr.edgeList[i].From != tr.edgeList[j].From {
+				return tr.edgeList[i].From < tr.edgeList[j].From
+			}
+			return tr.edgeList[i].To < tr.edgeList[j].To
+		})
+		tr.edgesDirty = false
+	}
+	return tr.edgeList
+}
+
+// gValue computes g(i, j, α): the maximum benefit weight of α packets
+// queued on the link (Procedure 2, line 4). Each packet is counted once
+// even if it has entries with several candidate routes on other links.
+func (tr *remaining) gValue(e graph.Edge, alpha int) int64 {
+	ls := tr.links[e]
+	if ls == nil {
+		return 0
+	}
+	var total int64
+	left := alpha
+	for _, en := range ls.entries {
+		if left == 0 {
+			break
+		}
+		c := en.sf.count
+		if c == 0 {
+			continue
+		}
+		if c > left {
+			c = left
+		}
+		total += int64(c) * en.bw
+		left -= c
+	}
+	return total
+}
+
+// candidateAlphas implements Procedure 1 (SetOfAlphas): for every link, the
+// prefix sums of queued packet counts at each benefit-weight class
+// boundary. Values are clamped to maxAlpha and deduplicated; the result is
+// sorted ascending.
+func (tr *remaining) candidateAlphas(maxAlpha int) []int {
+	seen := make(map[int]bool)
+	for _, e := range tr.activeEdges() {
+		ls := tr.links[e]
+		sum := 0
+		var lastBW int64 = -1
+		for _, en := range ls.entries {
+			if en.sf.count == 0 {
+				continue
+			}
+			if lastBW != -1 && en.bw != lastBW && sum > 0 {
+				seen[minInt(sum, maxAlpha)] = true
+			}
+			sum += en.sf.count
+			lastBW = en.bw
+		}
+		if sum > 0 {
+			seen[minInt(sum, maxAlpha)] = true
+		}
+	}
+	alphas := make([]int, 0, len(seen))
+	for a := range seen {
+		if a > 0 {
+			alphas = append(alphas, a)
+		}
+	}
+	sort.Ints(alphas)
+	return alphas
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// serveLink advances up to alpha packets over link e, honoring queue
+// priority. Pass selects which entry kinds are eligible: backtrack-only
+// pass runs first across the whole configuration so direct-link delivery
+// takes precedence over normal advancement (paper §6). Returns packets
+// served.
+func (tr *remaining) serveLink(e graph.Edge, alpha int, backtrackPass bool) int {
+	ls := tr.links[e]
+	if ls == nil || alpha <= 0 {
+		return 0
+	}
+	served := 0
+	for _, en := range ls.entries {
+		if served == alpha {
+			break
+		}
+		if en.backtrack != backtrackPass {
+			continue
+		}
+		sf := en.sf
+		movable := sf.count - sf.frozen
+		if movable <= 0 {
+			continue
+		}
+		t := minInt(alpha-served, movable)
+		sf.count -= t
+		served += t
+		if tr.keepTrace {
+			tr.trace = append(tr.trace, servedRecord{
+				Config: tr.configIdx, Link: e, Key: sf.key, RouteID: en.routeID,
+				Count: t, Backtrack: en.backtrack,
+			})
+		}
+		if en.backtrack {
+			// Annul prior progress; deliver via the direct link.
+			prior := sf.key.pos
+			base := traffic.Weight(sf.flow.WeightLen(sf.route))
+			tr.psi -= int64(t) * int64(prior) * base
+			tr.hops -= t * prior
+			tr.psi += int64(t) * traffic.Weight(1)
+			tr.hops += t
+			tr.delivered += t
+			tr.pending -= t
+			continue
+		}
+		// Normal advancement (committing uncommitted packets if needed).
+		route := sf.route
+		if route == nil {
+			route = sf.flow.Routes[en.routeID]
+		}
+		tr.psi += int64(t) * en.pw
+		tr.hops += t
+		newPos := sf.key.pos + 1
+		if newPos == len(route)-1 {
+			tr.delivered += t
+			tr.pending -= t
+			continue
+		}
+		key := sfKey{flowID: sf.flow.ID, routeID: en.routeID, pos: newPos}
+		dst := tr.byKey[key]
+		if dst == nil {
+			dst = &subflow{key: key, flow: sf.flow, route: route, count: t, frozen: t}
+			tr.byKey[key] = dst
+			tr.addCommittedEntry(dst)
+		} else {
+			dst.count += t
+			dst.frozen += t
+		}
+		tr.touched = append(tr.touched, dst)
+	}
+	return served
+}
+
+// apply executes a chosen configuration against T^r: a backtrack pass over
+// all links first (direct-link delivery takes priority), then normal
+// advancement with each link's leftover capacity.
+func (tr *remaining) apply(links []graph.Edge, alpha int) {
+	servedBT := make(map[graph.Edge]int, len(links))
+	if tr.backtrack {
+		for _, e := range links {
+			servedBT[e] = tr.serveLink(e, alpha, true)
+		}
+	}
+	for _, e := range links {
+		tr.serveLink(e, alpha-servedBT[e], false)
+	}
+	// Unfreeze arrivals: they may move from the next configuration on.
+	for _, sf := range tr.touched {
+		sf.frozen = 0
+	}
+	tr.touched = tr.touched[:0]
+	tr.configIdx++
+}
+
+// sanity verifies internal invariants (test hook).
+func (tr *remaining) sanity() error {
+	total := 0
+	for key, sf := range tr.byKey {
+		if sf.count < 0 {
+			return fmt.Errorf("core: negative count for %+v", key)
+		}
+		if sf.route != nil && sf.key.pos >= len(sf.route)-1 {
+			return fmt.Errorf("core: subflow %+v at/past destination", key)
+		}
+		total += sf.count
+	}
+	if total != tr.pending {
+		return fmt.Errorf("core: pending %d != sum of subflows %d", tr.pending, total)
+	}
+	return nil
+}

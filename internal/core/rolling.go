@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"octopus/internal/graph"
+	"octopus/internal/schedule"
+	"octopus/internal/traffic"
+)
+
+// ResidualLoad exports the remaining traffic after the greedy loop has
+// finished as a fresh load: packets stranded at intermediate nodes become
+// flows whose route is the untraversed suffix of their original route, and
+// packets still at their source keep their original route set. Flow IDs
+// are reassigned densely in (original flow, position) order, preserving
+// the original relative priority.
+//
+// This implements the paper's §4 observation that packets undelivered
+// within one window "can be considered for continued routing in the next
+// time window": schedule a window, export the residual, schedule it in the
+// next window (see RunWindows).
+func (s *Scheduler) ResidualLoad() *traffic.Load {
+	load, _ := s.ResidualLoadMap()
+	return load
+}
+
+// ResidualLoadMap is ResidualLoad plus the provenance of each residual
+// flow: a map from new flow ID to the original flow ID it carries packets
+// of. Online schedulers use this to track per-flow completion across
+// scheduling epochs.
+func (s *Scheduler) ResidualLoadMap() (*traffic.Load, map[int]int) {
+	type rem struct {
+		key sfKey
+		sf  *subflow
+	}
+	var rems []rem
+	for k, sf := range s.tr.byKey {
+		if sf.count > 0 {
+			rems = append(rems, rem{k, sf})
+		}
+	}
+	sort.Slice(rems, func(i, j int) bool {
+		a, b := rems[i].key, rems[j].key
+		if a.flowID != b.flowID {
+			return a.flowID < b.flowID
+		}
+		if a.routeID != b.routeID {
+			return a.routeID < b.routeID
+		}
+		return a.pos < b.pos
+	})
+	out := &traffic.Load{}
+	origin := make(map[int]int)
+	nextID := 0
+	for _, r := range rems {
+		sf := r.sf
+		var routes []traffic.Route
+		if sf.route == nil {
+			// Still at the source with the route choice open.
+			for _, rt := range sf.flow.Routes {
+				routes = append(routes, append(traffic.Route(nil), rt...))
+			}
+		} else {
+			suffix := sf.route[sf.key.pos:]
+			routes = []traffic.Route{append(traffic.Route(nil), suffix...)}
+		}
+		out.Flows = append(out.Flows, traffic.Flow{
+			ID:     nextID,
+			Size:   sf.count,
+			Src:    routes[0].Src(),
+			Dst:    sf.flow.Dst,
+			Routes: routes,
+		})
+		origin[nextID] = sf.flow.ID
+		nextID++
+	}
+	return out, origin
+}
+
+// WindowResult is the outcome of one window of a rolling run.
+type WindowResult struct {
+	Result   *Result
+	Offered  int // packets offered to this window (initial + carried over)
+	Residual int // packets carried into the next window
+}
+
+// RunWindows schedules load across successive windows of opt.Window slots:
+// each window runs the full greedy loop, and undelivered packets carry
+// over (from their current positions) into the next window. Returns the
+// per-window results; the sum of Result.Delivered is the total throughput.
+func RunWindows(g *graph.Digraph, load *traffic.Load, opt Options, windows int) ([]WindowResult, error) {
+	if windows < 1 {
+		return nil, fmt.Errorf("core: windows must be positive, got %d", windows)
+	}
+	cur := load
+	var out []WindowResult
+	for w := 0; w < windows && len(cur.Flows) > 0; w++ {
+		s, err := New(g, cur, opt)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		residual := s.ResidualLoad()
+		out = append(out, WindowResult{
+			Result:   res,
+			Offered:  cur.TotalPackets(),
+			Residual: residual.TotalPackets(),
+		})
+		cur = residual
+	}
+	return out, nil
+}
+
+// TotalDelivered sums the packets delivered across the windows.
+func TotalDelivered(ws []WindowResult) int {
+	total := 0
+	for _, w := range ws {
+		total += w.Result.Delivered
+	}
+	return total
+}
+
+// CombinedSchedule concatenates the per-window schedules into one sequence
+// (useful for replay/inspection; the reconfiguration delay between windows
+// is already accounted for because every window's schedule begins with its
+// own reconfiguration).
+func CombinedSchedule(ws []WindowResult) *schedule.Schedule {
+	if len(ws) == 0 {
+		return &schedule.Schedule{}
+	}
+	out := &schedule.Schedule{Delta: ws[0].Result.Schedule.Delta}
+	for _, w := range ws {
+		out.Configs = append(out.Configs, w.Result.Schedule.Configs...)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"octopus/internal/baseline"
+	"octopus/internal/core"
+	"octopus/internal/graph"
+	"octopus/internal/simulate"
+	"octopus/internal/traffic"
+)
+
+// metrics are the per-run measurements the figures plot. Fractions are in
+// [0, 1]; the figure runners convert to percentages.
+type metrics struct {
+	delivered      float64 // packets delivered / offered
+	utilization    float64 // packet-hops / active link-slots
+	deliveredOfPsi float64 // delivered / (ψ in packet equivalents), Fig 7a
+}
+
+func fromSim(r *simulate.Result) metrics {
+	return metrics{
+		delivered:      r.DeliveredFraction(),
+		utilization:    r.Utilization(),
+		deliveredOfPsi: r.DeliveredOfPsi(),
+	}
+}
+
+// runOctopus schedules with the core scheduler and measures the schedule
+// with the packet-level simulator (the measurement authority for all
+// single-route figures).
+func runOctopus(g *graph.Digraph, load *traffic.Load, opt core.Options) (metrics, error) {
+	s, err := core.New(g, load, opt)
+	if err != nil {
+		return metrics{}, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return metrics{}, err
+	}
+	sim, err := simulate.Run(g, load, res.Schedule, simulate.Options{
+		Window:    opt.Window,
+		Epsilon64: opt.Epsilon64,
+		MultiHop:  opt.MultiHop,
+		Ports:     opt.Ports,
+	})
+	if err != nil {
+		return metrics{}, err
+	}
+	return fromSim(sim), nil
+}
+
+// runOctopusPlan schedules and reports the plan's own bookkeeping. Used for
+// Octopus+ (whose backtracking cannot be replayed forward; the plan is
+// verified by core's plan verifier instead, exercised in tests).
+func runOctopusPlan(g *graph.Digraph, load *traffic.Load, opt core.Options) (metrics, error) {
+	s, err := core.New(g, load, opt)
+	if err != nil {
+		return metrics{}, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return metrics{}, err
+	}
+	m := metrics{}
+	if res.TotalPackets > 0 {
+		m.delivered = float64(res.Delivered) / float64(res.TotalPackets)
+	}
+	if als := res.Schedule.ActiveLinkSlots(); als > 0 {
+		m.utilization = float64(res.Hops) / float64(als)
+	}
+	if res.Psi > 0 {
+		m.deliveredOfPsi = float64(res.Delivered) * float64(traffic.WeightScale) / float64(res.Psi)
+	}
+	return m, nil
+}
+
+func runEclipseBased(g *graph.Digraph, load *traffic.Load, window, delta int, matcher core.Matcher) (metrics, error) {
+	sim, _, err := baseline.EclipseBased(g, load, window, delta, matcher)
+	if err != nil {
+		return metrics{}, err
+	}
+	return fromSim(sim), nil
+}
+
+func runUB(g *graph.Digraph, load *traffic.Load, window, delta int, matcher core.Matcher) (metrics, error) {
+	ub, err := baseline.UpperBound(g, load, window, delta, matcher)
+	if err != nil {
+		return metrics{}, err
+	}
+	return metrics{
+		delivered:      ub.DeliveredFraction(),
+		utilization:    ub.Utilization(),
+		deliveredOfPsi: ub.DeliveredOfPsi(),
+	}, nil
+}
+
+func runRotorNet(g *graph.Digraph, load *traffic.Load, window, delta int) (metrics, error) {
+	sim, _, err := baseline.RotorNet(g, load, window, delta, 0)
+	if err != nil {
+		return metrics{}, err
+	}
+	return fromSim(sim), nil
+}
+
+// absUB returns the absolute capacity upper bound as a delivered fraction.
+func absUB(load *traffic.Load, window, n int) float64 {
+	total := load.TotalPackets()
+	if total == 0 {
+		return 0
+	}
+	return float64(baseline.AbsoluteUpperBound(load, window, n)) / float64(total)
+}

@@ -1,0 +1,225 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"octopus/internal/core"
+)
+
+// tiny returns a minimal scale so every figure runs in test time.
+func tiny() Scale {
+	return Scale{
+		Name:          "tiny",
+		Nodes:         8,
+		Window:        200,
+		Delta:         5,
+		Instances:     2,
+		Matcher:       core.MatcherExact,
+		Seed:          7,
+		Workers:       2,
+		NodeSweep:     []int{6, 8},
+		DeltaSweep:    []int{2, 8},
+		SkewSweep:     []int{30, 70},
+		SparsitySweep: []int{4, 8},
+		HopSweep:      []int{1, 2, 3},
+		TimeNodeSweep: []int{6, 10},
+	}
+}
+
+func TestFigureIDs(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) != 16 {
+		t.Fatalf("got %d figures, want 16: %v", len(ids), ids)
+	}
+	want := []string{"10a", "10b", "4a", "4b", "4c", "4d", "5a", "5b", "5c", "5d", "6", "7a", "7b", "8", "9a", "9b"}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("ids = %v", ids)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run("nope", tiny()); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestAllFiguresRunAtTinyScale(t *testing.T) {
+	sc := tiny()
+	for _, id := range FigureIDs() {
+		tab, err := Run(id, sc)
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 || len(tab.Series) == 0 {
+			t.Fatalf("figure %s: empty table", id)
+		}
+		for _, row := range tab.Rows {
+			if len(row.Values) != len(tab.Series) {
+				t.Fatalf("figure %s: row width mismatch", id)
+			}
+			for si, v := range row.Values {
+				if v < 0 {
+					t.Fatalf("figure %s series %s: negative value %f", id, tab.Series[si], v)
+				}
+				if id != "10a" && v > 100.0001 {
+					t.Fatalf("figure %s series %s: percentage %f > 100", id, tab.Series[si], v)
+				}
+			}
+		}
+	}
+}
+
+func TestFig4aQualitative(t *testing.T) {
+	sc := tiny()
+	sc.Instances = 3
+	tab, err := Fig4a(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Series order: Octopus, Eclipse-Based, UB, AbsoluteUB.
+	for _, row := range tab.Rows {
+		oct, ecl, ub := row.Values[0], row.Values[1], row.Values[2]
+		if oct <= ecl {
+			t.Fatalf("n=%v: Octopus %.2f not above Eclipse-Based %.2f", row.X, oct, ecl)
+		}
+		if ub < 0.85*oct {
+			t.Fatalf("n=%v: UB %.2f far below Octopus %.2f", row.X, ub, oct)
+		}
+	}
+}
+
+func TestFig8Qualitative(t *testing.T) {
+	tab, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		octDel, rotDel := row.Values[0], row.Values[1]
+		octUtil, rotUtil := row.Values[2], row.Values[3]
+		if octDel <= rotDel {
+			t.Fatalf("delta=%v: Octopus %.2f not above RotorNet %.2f", row.X, octDel, rotDel)
+		}
+		if octUtil <= rotUtil {
+			t.Fatalf("delta=%v: Octopus util %.2f not above RotorNet %.2f", row.X, octUtil, rotUtil)
+		}
+	}
+}
+
+func TestFig10aExactSlowerThanGreedy(t *testing.T) {
+	sc := tiny()
+	sc.TimeNodeSweep = []int{12}
+	tab, err := Fig10a(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, greedy := tab.Rows[0].Values[0], tab.Rows[0].Values[1]
+	if exact <= 0 || greedy <= 0 {
+		t.Fatalf("non-positive timings: %f %f", exact, greedy)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	sc := tiny()
+	a, err := Fig4b(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig4b(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range a.Rows {
+		for c := range a.Rows[r].Values {
+			if a.Rows[r].Values[c] != b.Rows[r].Values[c] {
+				t.Fatalf("nondeterministic at row %d col %d: %f vs %f",
+					r, c, a.Rows[r].Values[c], b.Rows[r].Values[c])
+			}
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID: "t", Title: "Test", XLabel: "x", YLabel: "y",
+		Series: []string{"A", "BBBB"},
+		Rows: []Row{
+			{X: 1, Values: []float64{12.345, 6}},
+			{X: 20, Values: []float64{1, 99.9}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# t — Test") || !strings.Contains(out, "12.35") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // 2 comment lines + header + 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows have equal rendered width.
+	if len(lines[2]) != len(lines[3]) || len(lines[3]) != len(lines[4]) {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{
+		XLabel: "x", Series: []string{"A", "B"},
+		Rows: []Row{{X: 1.5, Values: []float64{2, 3}}},
+	}
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,A,B\n1.5,2.0000,3.0000\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestScalePresets(t *testing.T) {
+	full, quick := Full(), Quick()
+	if full.Nodes != 100 || full.Window != 10000 || full.Delta != 20 || full.Instances != 10 {
+		t.Fatalf("full preset = %+v", full)
+	}
+	if quick.Nodes >= full.Nodes || quick.Window >= full.Window {
+		t.Fatal("quick preset not smaller than full")
+	}
+	for _, sc := range []Scale{full, quick} {
+		if len(sc.NodeSweep) == 0 || len(sc.DeltaSweep) == 0 || len(sc.SkewSweep) == 0 ||
+			len(sc.SparsitySweep) == 0 || len(sc.HopSweep) == 0 || len(sc.TimeNodeSweep) == 0 {
+			t.Fatalf("%s preset has empty sweeps", sc.Name)
+		}
+	}
+}
+
+func TestAveragePointPropagatesErrors(t *testing.T) {
+	sc := tiny()
+	if _, err := averagePoint(sc, 1, 1, func(rng *rand.Rand) ([]float64, error) {
+		return nil, errors.New("boom")
+	}); err == nil {
+		t.Fatal("error not propagated")
+	}
+	// Wrong arity is caught.
+	if _, err := averagePoint(sc, 1, 2, func(rng *rand.Rand) ([]float64, error) {
+		return []float64{1}, nil
+	}); err == nil {
+		t.Fatal("arity mismatch not caught")
+	}
+	// Averaging works.
+	vals, err := averagePoint(sc, 1, 1, func(rng *rand.Rand) ([]float64, error) {
+		return []float64{10}, nil
+	})
+	if err != nil || vals[0] != 10 {
+		t.Fatalf("vals=%v err=%v", vals, err)
+	}
+}

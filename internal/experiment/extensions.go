@@ -1,0 +1,406 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"octopus/internal/baseline"
+	"octopus/internal/core"
+	"octopus/internal/graph"
+	"octopus/internal/hybrid"
+	"octopus/internal/online"
+	"octopus/internal/simulate"
+	"octopus/internal/traffic"
+)
+
+// Extensions maps IDs to the experiment runners that go beyond the paper's
+// figures: ablations of design choices DESIGN.md calls out and the §7
+// extensions the paper describes but does not plot.
+func Extensions() map[string]Runner {
+	return map[string]Runner{
+		"ext-solstice":  ExtSolstice,
+		"ext-ports":     ExtPorts,
+		"ext-makespan":  ExtMakespan,
+		"ext-backtrack": ExtBacktrack,
+		"ext-eclipsepp": ExtEclipsePP,
+		"ext-buffers":   ExtBuffers,
+		"ext-adaptive":  ExtAdaptive,
+		"ext-epsilon":   ExtEpsilon,
+	}
+}
+
+// ExtensionIDs returns the sorted list of extension experiment IDs.
+func ExtensionIDs() []string {
+	es := Extensions()
+	ids := make([]string, 0, len(es))
+	for id := range es {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ExtSolstice compares Octopus against both one-hop-decomposition
+// baselines — Eclipse-Based and a Solstice-style BvN decomposition — for
+// varying reconfiguration delay.
+func ExtSolstice(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "ext-solstice", Title: "Octopus vs one-hop decomposition baselines",
+		XLabel: "delta", YLabel: "% packets delivered",
+		Series: []string{"Octopus", "Eclipse-Based", "Solstice-Based"},
+	}
+	for i, d := range sc.DeltaSweep {
+		d := d
+		vals, err := averagePoint(sc, int64(i)+1, 3, func(rng *rand.Rand) ([]float64, error) {
+			g := graph.Complete(sc.Nodes)
+			load, err := traffic.Synthetic(g, traffic.DefaultSyntheticParams(sc.Nodes, sc.Window), rng)
+			if err != nil {
+				return nil, err
+			}
+			oct, err := runOctopus(g, load, core.Options{Window: sc.Window, Delta: d, Matcher: sc.Matcher})
+			if err != nil {
+				return nil, err
+			}
+			ecl, err := runEclipseBased(g, load, sc.Window, d, sc.Matcher)
+			if err != nil {
+				return nil, err
+			}
+			sol, _, err := baseline.SolsticeBased(g, load, sc.Window, d)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{oct.delivered * 100, ecl.delivered * 100, 100 * sol.DeliveredFraction()}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(d), Values: vals})
+	}
+	return t, nil
+}
+
+// ExtPorts evaluates the §7 K-ports-per-node model: delivered packets as
+// the per-node port count grows (each configuration is a union of up to K
+// edge-disjoint matchings).
+func ExtPorts(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "ext-ports", Title: "K ports per node (§7)",
+		XLabel: "ports", YLabel: "% packets delivered",
+		Series: []string{"Octopus", "AbsoluteUB"},
+	}
+	for i, ports := range []int{1, 2, 4} {
+		ports := ports
+		vals, err := averagePoint(sc, int64(i)+1, 2, func(rng *rand.Rand) ([]float64, error) {
+			g := graph.Complete(sc.Nodes)
+			load, err := traffic.Synthetic(g, traffic.DefaultSyntheticParams(sc.Nodes, sc.Window), rng)
+			if err != nil {
+				return nil, err
+			}
+			oct, err := runOctopus(g, load, core.Options{
+				Window: sc.Window, Delta: sc.Delta, Matcher: sc.Matcher, Ports: ports,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Capacity bound scales with the port count.
+			total := load.TotalPackets()
+			abs := float64(baseline.AbsoluteUpperBound(load, sc.Window*ports, sc.Nodes)) / float64(total)
+			return []float64{oct.delivered * 100, abs * 100}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(ports), Values: vals})
+	}
+	return t, nil
+}
+
+// ExtMakespan solves the §7 makespan-minimization problem for growing load
+// intensity and reports the minimal full-service window against a trivial
+// per-port lower bound (a port can send one packet per slot).
+func ExtMakespan(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "ext-makespan", Title: "Makespan minimization (§7)",
+		XLabel: "load%", YLabel: "slots",
+		Series: []string{"Octopus makespan", "per-port lower bound"},
+	}
+	for i, pct := range []int{25, 50, 100} {
+		pct := pct
+		vals, err := averagePoint(sc, int64(i)+1, 2, func(rng *rand.Rand) ([]float64, error) {
+			g := graph.Complete(sc.Nodes)
+			p := traffic.DefaultSyntheticParams(sc.Nodes, sc.Window*pct/100)
+			load, err := traffic.Synthetic(g, p, rng)
+			if err != nil {
+				return nil, err
+			}
+			w, _, err := hybrid.Makespan(g, load, core.Options{Delta: sc.Delta, Matcher: sc.Matcher})
+			if err != nil {
+				return nil, err
+			}
+			// Lower bound: the busiest output port must emit its packets
+			// one per slot, plus one reconfiguration.
+			perPort := make(map[int]int)
+			for _, f := range load.Flows {
+				perPort[f.Src] += f.Size
+			}
+			lb := 0
+			for _, v := range perPort {
+				if v > lb {
+					lb = v
+				}
+			}
+			return []float64{float64(w), float64(lb + sc.Delta)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(pct), Values: vals})
+	}
+	return t, nil
+}
+
+// ExtBacktrack ablates Octopus+'s direct-link backtracking (§6): with the
+// paper's general multi-route loads, backtracking is what guarantees the
+// approximation bound; this measures what it buys empirically.
+func ExtBacktrack(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "ext-backtrack", Title: "Octopus+ backtracking ablation (§6)",
+		XLabel: "delta", YLabel: "% packets delivered (plan)",
+		Series: []string{"Octopus+", "Octopus+ no-backtrack", "Octopus-random"},
+	}
+	for i, d := range sc.DeltaSweep {
+		d := d
+		vals, err := averagePoint(sc, int64(i)+1, 3, func(rng *rand.Rand) ([]float64, error) {
+			g := graph.Complete(sc.Nodes)
+			p := traffic.DefaultSyntheticParams(sc.Nodes, sc.Window)
+			p.RouteChoices = 10
+			load, err := traffic.Synthetic(g, p, rng)
+			if err != nil {
+				return nil, err
+			}
+			with, err := runOctopusPlan(g, load, core.Options{
+				Window: sc.Window, Delta: d, Matcher: sc.Matcher, MultiRoute: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			without, err := runOctopusPlan(g, load, core.Options{
+				Window: sc.Window, Delta: d, Matcher: sc.Matcher, MultiRoute: true, DisableBacktrack: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			resolved := load.Clone()
+			for fi := range resolved.Flows {
+				f := &resolved.Flows[fi]
+				f.Routes = []traffic.Route{f.Routes[rng.Intn(len(f.Routes))]}
+			}
+			rnd, err := runOctopus(g, resolved, core.Options{Window: sc.Window, Delta: d, Matcher: sc.Matcher})
+			if err != nil {
+				return nil, err
+			}
+			return []float64{with.delivered * 100, without.delivered * 100, rnd.delivered * 100}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(d), Values: vals})
+	}
+	return t, nil
+}
+
+// ExtEclipsePP compares the two realizations of the Eclipse-Based
+// baseline: fixed-route VOQ replay (the default, measured by the same
+// simulator as everything else) vs. Eclipse++ time-expanded re-routing
+// (the algorithm of [36] the paper names), against Octopus.
+func ExtEclipsePP(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "ext-eclipsepp", Title: "Eclipse-Based realizations: VOQ replay vs Eclipse++ re-routing",
+		XLabel: "delta", YLabel: "% packets delivered",
+		Series: []string{"Octopus", "Eclipse-Based (replay)", "Eclipse-Based (Eclipse++)"},
+	}
+	for i, d := range sc.DeltaSweep {
+		d := d
+		vals, err := averagePoint(sc, int64(i)+1, 3, func(rng *rand.Rand) ([]float64, error) {
+			g := graph.Complete(sc.Nodes)
+			load, err := traffic.Synthetic(g, traffic.DefaultSyntheticParams(sc.Nodes, sc.Window), rng)
+			if err != nil {
+				return nil, err
+			}
+			oct, err := runOctopus(g, load, core.Options{Window: sc.Window, Delta: d, Matcher: sc.Matcher})
+			if err != nil {
+				return nil, err
+			}
+			ecl, err := runEclipseBased(g, load, sc.Window, d, sc.Matcher)
+			if err != nil {
+				return nil, err
+			}
+			epp, err := baseline.EclipseBasedPlusPlus(g, load, sc.Window, d, sc.Matcher)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{oct.delivered * 100, ecl.delivered * 100, 100 * epp.DeliveredFraction()}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(d), Values: vals})
+	}
+	return t, nil
+}
+
+// ExtBuffers quantifies the in-network buffering multi-hop circuit
+// scheduling requires: the peak per-node and aggregate packets parked at
+// intermediate nodes under an Octopus schedule, as the average route
+// length grows (all flows forced to the same length).
+func ExtBuffers(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "ext-buffers", Title: "Peak intermediate buffering vs route length",
+		XLabel: "route hops", YLabel: "packets buffered (peak)",
+		Series: []string{"max per node", "max total", "delivered%"},
+	}
+	for i, hops := range sc.HopSweep {
+		hops := hops
+		vals, err := averagePoint(sc, int64(i)+1, 3, func(rng *rand.Rand) ([]float64, error) {
+			g := graph.Complete(sc.Nodes)
+			p := traffic.DefaultSyntheticParams(sc.Nodes, sc.Window)
+			p.FixedHops = hops
+			load, err := traffic.Synthetic(g, p, rng)
+			if err != nil {
+				return nil, err
+			}
+			opt := core.Options{Window: sc.Window, Delta: sc.Delta, Matcher: sc.Matcher}
+			s, err := core.New(g, load, opt)
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.Run()
+			if err != nil {
+				return nil, err
+			}
+			sim, err := simulate.Run(g, load, res.Schedule, simulate.Options{
+				Window: sc.Window, TrackBuffers: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return []float64{
+				float64(sim.MaxNodeBuffer),
+				float64(sim.MaxTotalBuffer),
+				sim.DeliveredFraction() * 100,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(hops), Values: vals})
+	}
+	return t, nil
+}
+
+// ExtAdaptive contrasts offline window planning (Octopus over one epoch)
+// with the queue-state-driven MaxWeight adaptive policy of the related
+// work [37], with and without reconfiguration hysteresis, on a known load
+// for varying reconfiguration delay.
+func ExtAdaptive(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "ext-adaptive", Title: "Offline window planning vs queue-state MaxWeight",
+		XLabel: "delta", YLabel: "% packets delivered",
+		Series: []string{"Octopus", "MaxWeight", "MaxWeight hys=1.5"},
+	}
+	for i, d := range sc.DeltaSweep {
+		d := d
+		vals, err := averagePoint(sc, int64(i)+1, 3, func(rng *rand.Rand) ([]float64, error) {
+			g := graph.Complete(sc.Nodes)
+			load, err := traffic.Synthetic(g, traffic.DefaultSyntheticParams(sc.Nodes, sc.Window), rng)
+			if err != nil {
+				return nil, err
+			}
+			oct, err := runOctopus(g, load, core.Options{Window: sc.Window, Delta: d, Matcher: sc.Matcher})
+			if err != nil {
+				return nil, err
+			}
+			var arr []online.Arrival
+			for _, f := range load.Flows {
+				arr = append(arr, online.Arrival{Flow: f, At: 0})
+			}
+			hold := 10 * d
+			if hold == 0 {
+				hold = 10
+			}
+			mw, err := online.MaxWeightAdaptive(g, arr, online.AdaptiveOptions{
+				Horizon: sc.Window, Delta: d, Hold: hold,
+			})
+			if err != nil {
+				return nil, err
+			}
+			hys, err := online.MaxWeightAdaptive(g, arr, online.AdaptiveOptions{
+				Horizon: sc.Window, Delta: d, Hold: hold, Hysteresis64: 96,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return []float64{
+				oct.delivered * 100,
+				100 * mw.DeliveredFraction(),
+				100 * hys.DeliveredFraction(),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(d), Values: vals})
+	}
+	return t, nil
+}
+
+// ExtEpsilon sweeps the Octopus-e ε (in 1/64 units) on the Fig 7b
+// hardest setting (every flow on a 3-hop route): how sensitive is the
+// later-hops bonus, and does a large ε overshoot?
+func ExtEpsilon(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "ext-epsilon", Title: "Octopus-e ε sensitivity (uniform 3-hop routes)",
+		XLabel: "eps64", YLabel: "% packets delivered",
+		Series: []string{"Octopus-e", "UB"},
+	}
+	hops := sc.HopSweep[len(sc.HopSweep)-1]
+	for i, eps := range []int{0, 2, 4, 8, 16, 32, 64} {
+		eps := eps
+		vals, err := averagePoint(sc, int64(i)+1, 2, func(rng *rand.Rand) ([]float64, error) {
+			g := graph.Complete(sc.Nodes)
+			p := traffic.DefaultSyntheticParams(sc.Nodes, sc.Window)
+			p.FixedHops = hops
+			load, err := traffic.Synthetic(g, p, rng)
+			if err != nil {
+				return nil, err
+			}
+			oct, err := runOctopus(g, load, core.Options{
+				Window: sc.Window, Delta: sc.Delta, Matcher: sc.Matcher, Epsilon64: eps,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ub, err := runUB(g, load, sc.Window, sc.Delta, sc.Matcher)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{oct.delivered * 100, ub.delivered * 100}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(eps), Values: vals})
+	}
+	return t, nil
+}
+
+func init() {
+	// Guard against ID collisions between figures and extensions.
+	figs := Runners()
+	for id := range Extensions() {
+		if _, dup := figs[id]; dup {
+			panic(fmt.Sprintf("experiment: duplicate runner ID %q", id))
+		}
+	}
+}

@@ -1,0 +1,499 @@
+package experiment
+
+import (
+	"math/rand"
+	"time"
+
+	"octopus/internal/core"
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+)
+
+// The Fig4/Fig5 family compares Octopus, Eclipse-Based, UB and the absolute
+// upper bound across four sweeps (nodes, reconfiguration delay, skew,
+// sparsity), reporting packets delivered (Fig 4) and link utilization
+// (Fig 5).
+
+const (
+	metricDelivered = iota
+	metricUtilization
+	metricDeliveredOfPsi
+)
+
+// sweepCase describes one instance generation for the Fig4/5 family.
+type sweepCase struct {
+	nodes  int
+	window int
+	delta  int
+	mutate func(*traffic.SyntheticParams)
+}
+
+// runComparison produces the four standard series for one sweep point.
+func runComparison(sc Scale, c sweepCase, metric int) point {
+	return func(rng *rand.Rand) ([]float64, error) {
+		g := graph.Complete(c.nodes)
+		p := traffic.DefaultSyntheticParams(c.nodes, c.window)
+		if c.mutate != nil {
+			c.mutate(&p)
+		}
+		load, err := traffic.Synthetic(g, p, rng)
+		if err != nil {
+			return nil, err
+		}
+		opt := core.Options{Window: c.window, Delta: c.delta, Matcher: sc.Matcher}
+		oct, err := runOctopus(g, load, opt)
+		if err != nil {
+			return nil, err
+		}
+		ecl, err := runEclipseBased(g, load, c.window, c.delta, sc.Matcher)
+		if err != nil {
+			return nil, err
+		}
+		ub, err := runUB(g, load, c.window, c.delta, sc.Matcher)
+		if err != nil {
+			return nil, err
+		}
+		abs := absUB(load, c.window, c.nodes)
+		pick := func(m metrics) float64 {
+			switch metric {
+			case metricUtilization:
+				return m.utilization * 100
+			case metricDeliveredOfPsi:
+				return m.deliveredOfPsi * 100
+			default:
+				return m.delivered * 100
+			}
+		}
+		vals := []float64{pick(oct), pick(ecl), pick(ub)}
+		if metric == metricDelivered {
+			vals = append(vals, abs*100)
+		}
+		return vals, nil
+	}
+}
+
+func comparisonSeries(metric int) []string {
+	s := []string{"Octopus", "Eclipse-Based", "UB"}
+	if metric == metricDelivered {
+		s = append(s, "AbsoluteUB")
+	}
+	return s
+}
+
+func comparisonTable(sc Scale, id, title, xlabel string, metric int, xs []float64, cases []sweepCase) (*Table, error) {
+	t := &Table{
+		ID: id, Title: title, XLabel: xlabel,
+		YLabel: map[int]string{
+			metricDelivered:      "% packets delivered",
+			metricUtilization:    "% link utilization",
+			metricDeliveredOfPsi: "packets delivered as % of ψ",
+		}[metric],
+		Series: comparisonSeries(metric),
+	}
+	for i, c := range cases {
+		vals, err := averagePoint(sc, int64(i)+1, len(t.Series), runComparison(sc, c, metric))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: xs[i], Values: vals})
+	}
+	return t, nil
+}
+
+func nodeCases(sc Scale) ([]float64, []sweepCase) {
+	var xs []float64
+	var cases []sweepCase
+	for _, n := range sc.NodeSweep {
+		xs = append(xs, float64(n))
+		cases = append(cases, sweepCase{nodes: n, window: sc.Window, delta: sc.Delta})
+	}
+	return xs, cases
+}
+
+func deltaCases(sc Scale) ([]float64, []sweepCase) {
+	var xs []float64
+	var cases []sweepCase
+	for _, d := range sc.DeltaSweep {
+		xs = append(xs, float64(d))
+		cases = append(cases, sweepCase{nodes: sc.Nodes, window: sc.Window, delta: d})
+	}
+	return xs, cases
+}
+
+func skewCases(sc Scale) ([]float64, []sweepCase) {
+	var xs []float64
+	var cases []sweepCase
+	for _, s := range sc.SkewSweep {
+		s := s
+		xs = append(xs, float64(s))
+		cases = append(cases, sweepCase{
+			nodes: sc.Nodes, window: sc.Window, delta: sc.Delta,
+			mutate: func(p *traffic.SyntheticParams) {
+				total := p.CL + p.CS
+				p.CS = total * s / 100
+				p.CL = total - p.CS
+			},
+		})
+	}
+	return xs, cases
+}
+
+func sparsityCases(sc Scale) ([]float64, []sweepCase) {
+	var xs []float64
+	var cases []sweepCase
+	for _, fl := range sc.SparsitySweep {
+		fl := fl
+		xs = append(xs, float64(fl))
+		cases = append(cases, sweepCase{
+			nodes: sc.Nodes, window: sc.Window, delta: sc.Delta,
+			mutate: func(p *traffic.SyntheticParams) {
+				p.NL = maxInt(1, fl/4)
+				p.NS = maxInt(1, fl-fl/4)
+			},
+		})
+	}
+	return xs, cases
+}
+
+// Fig4a: packets delivered (%) for varying number of nodes.
+func Fig4a(sc Scale) (*Table, error) {
+	xs, cases := nodeCases(sc)
+	return comparisonTable(sc, "4a", "Packets delivered for varying number of nodes", "nodes", metricDelivered, xs, cases)
+}
+
+// Fig4b: packets delivered (%) for varying reconfiguration delay.
+func Fig4b(sc Scale) (*Table, error) {
+	xs, cases := deltaCases(sc)
+	return comparisonTable(sc, "4b", "Packets delivered for varying reconfiguration delay", "delta", metricDelivered, xs, cases)
+}
+
+// Fig4c: packets delivered (%) for varying traffic skew (c_S as a
+// percentage of c_S + c_L).
+func Fig4c(sc Scale) (*Table, error) {
+	xs, cases := skewCases(sc)
+	return comparisonTable(sc, "4c", "Packets delivered for varying traffic skew", "cS%", metricDelivered, xs, cases)
+}
+
+// Fig4d: packets delivered (%) for varying traffic sparsity (n_L + n_S).
+func Fig4d(sc Scale) (*Table, error) {
+	xs, cases := sparsityCases(sc)
+	return comparisonTable(sc, "4d", "Packets delivered for varying traffic sparsity", "flows/port", metricDelivered, xs, cases)
+}
+
+// Fig5a-d: link utilization (%) over the same four sweeps.
+func Fig5a(sc Scale) (*Table, error) {
+	xs, cases := nodeCases(sc)
+	return comparisonTable(sc, "5a", "Link utilization for varying number of nodes", "nodes", metricUtilization, xs, cases)
+}
+
+// Fig5b: link utilization (%) for varying reconfiguration delay.
+func Fig5b(sc Scale) (*Table, error) {
+	xs, cases := deltaCases(sc)
+	return comparisonTable(sc, "5b", "Link utilization for varying reconfiguration delay", "delta", metricUtilization, xs, cases)
+}
+
+// Fig5c: link utilization (%) for varying traffic skew.
+func Fig5c(sc Scale) (*Table, error) {
+	xs, cases := skewCases(sc)
+	return comparisonTable(sc, "5c", "Link utilization for varying traffic skew", "cS%", metricUtilization, xs, cases)
+}
+
+// Fig5d: link utilization (%) for varying traffic sparsity.
+func Fig5d(sc Scale) (*Table, error) {
+	xs, cases := sparsityCases(sc)
+	return comparisonTable(sc, "5d", "Link utilization for varying traffic sparsity", "flows/port", metricUtilization, xs, cases)
+}
+
+// Fig6: packets delivered (%) over trace-like loads standing in for the
+// Facebook (Hadoop, web, database) and Microsoft traces.
+func Fig6(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "6", Title: "Performance over datacenter trace-like loads",
+		XLabel: "trace", YLabel: "% packets delivered",
+		Series: []string{"Octopus", "Eclipse-Based", "UB", "AbsoluteUB"},
+	}
+	kinds := []traffic.TraceKind{traffic.FBHadoop, traffic.FBWeb, traffic.FBDatabase, traffic.MSHeatmap}
+	for i, kind := range kinds {
+		kind := kind
+		vals, err := averagePoint(sc, int64(i)+1, 4, func(rng *rand.Rand) ([]float64, error) {
+			g := graph.Complete(sc.Nodes)
+			load, err := traffic.TraceLike(g, kind, sc.Window, traffic.SyntheticParams{}, rng)
+			if err != nil {
+				return nil, err
+			}
+			opt := core.Options{Window: sc.Window, Delta: sc.Delta, Matcher: sc.Matcher}
+			oct, err := runOctopus(g, load, opt)
+			if err != nil {
+				return nil, err
+			}
+			ecl, err := runEclipseBased(g, load, sc.Window, sc.Delta, sc.Matcher)
+			if err != nil {
+				return nil, err
+			}
+			ub, err := runUB(g, load, sc.Window, sc.Delta, sc.Matcher)
+			if err != nil {
+				return nil, err
+			}
+			abs := absUB(load, sc.Window, sc.Nodes)
+			return []float64{oct.delivered * 100, ecl.delivered * 100, ub.delivered * 100, abs * 100}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(i + 1), Values: vals})
+	}
+	return t, nil
+}
+
+// Fig7a: packets delivered as a percentage of the objective value ψ, for
+// varying reconfiguration delay.
+func Fig7a(sc Scale) (*Table, error) {
+	xs, cases := deltaCases(sc)
+	return comparisonTable(sc, "7a", "Packets delivered as percentage of ψ vs reconfiguration delay", "delta", metricDeliveredOfPsi, xs, cases)
+}
+
+// Fig7b: Octopus-e vs Octopus vs UB for uniform route lengths 1..3.
+func Fig7b(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "7b", Title: "Octopus-e for varying average hop count",
+		XLabel: "route hops", YLabel: "% packets delivered",
+		Series: []string{"Octopus", "Octopus-e", "UB"},
+	}
+	for i, hops := range sc.HopSweep {
+		hops := hops
+		vals, err := averagePoint(sc, int64(i)+1, 3, func(rng *rand.Rand) ([]float64, error) {
+			g := graph.Complete(sc.Nodes)
+			p := traffic.DefaultSyntheticParams(sc.Nodes, sc.Window)
+			p.FixedHops = hops
+			load, err := traffic.Synthetic(g, p, rng)
+			if err != nil {
+				return nil, err
+			}
+			opt := core.Options{Window: sc.Window, Delta: sc.Delta, Matcher: sc.Matcher}
+			oct, err := runOctopus(g, load, opt)
+			if err != nil {
+				return nil, err
+			}
+			optE := opt
+			optE.Epsilon64 = 4 // ε = 1/16: small bonus for later hops
+			octE, err := runOctopus(g, load, optE)
+			if err != nil {
+				return nil, err
+			}
+			ub, err := runUB(g, load, sc.Window, sc.Delta, sc.Matcher)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{oct.delivered * 100, octE.delivered * 100, ub.delivered * 100}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(hops), Values: vals})
+	}
+	return t, nil
+}
+
+// Fig8: Octopus vs the traffic-agnostic RotorNet schedule: packets
+// delivered and link utilization for varying reconfiguration delay.
+func Fig8(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "8", Title: "Octopus vs RotorNet",
+		XLabel: "delta", YLabel: "% (delivered and utilization)",
+		Series: []string{"Octopus del%", "RotorNet del%", "Octopus util%", "RotorNet util%"},
+	}
+	for i, d := range sc.DeltaSweep {
+		d := d
+		vals, err := averagePoint(sc, int64(i)+1, 4, func(rng *rand.Rand) ([]float64, error) {
+			g := graph.Complete(sc.Nodes)
+			load, err := traffic.Synthetic(g, traffic.DefaultSyntheticParams(sc.Nodes, sc.Window), rng)
+			if err != nil {
+				return nil, err
+			}
+			opt := core.Options{Window: sc.Window, Delta: d, Matcher: sc.Matcher}
+			oct, err := runOctopus(g, load, opt)
+			if err != nil {
+				return nil, err
+			}
+			rot, err := runRotorNet(g, load, sc.Window, d)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{oct.delivered * 100, rot.delivered * 100, oct.utilization * 100, rot.utilization * 100}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(d), Values: vals})
+	}
+	return t, nil
+}
+
+// Fig9a: Octopus-B (binary search over α) vs Octopus for varying
+// reconfiguration delay.
+func Fig9a(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "9a", Title: "Octopus-B vs Octopus",
+		XLabel: "delta", YLabel: "% packets delivered",
+		Series: []string{"Octopus", "Octopus-B"},
+	}
+	for i, d := range sc.DeltaSweep {
+		d := d
+		vals, err := averagePoint(sc, int64(i)+1, 2, func(rng *rand.Rand) ([]float64, error) {
+			g := graph.Complete(sc.Nodes)
+			load, err := traffic.Synthetic(g, traffic.DefaultSyntheticParams(sc.Nodes, sc.Window), rng)
+			if err != nil {
+				return nil, err
+			}
+			opt := core.Options{Window: sc.Window, Delta: d, Matcher: sc.Matcher}
+			oct, err := runOctopus(g, load, opt)
+			if err != nil {
+				return nil, err
+			}
+			optB := opt
+			optB.AlphaSearch = core.AlphaBinary
+			octB, err := runOctopus(g, load, optB)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{oct.delivered * 100, octB.delivered * 100}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(d), Values: vals})
+	}
+	return t, nil
+}
+
+// Fig9b: the MHS problem with multiple routes per flow: Octopus+ vs
+// Octopus-random (random route per flow, then plain Octopus), with 10
+// route choices of 1-3 hops per flow.
+func Fig9b(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "9b", Title: "Octopus+ vs Octopus-random (10 routes per flow)",
+		XLabel: "delta", YLabel: "% packets delivered",
+		Series: []string{"Octopus+", "Octopus-random"},
+	}
+	for i, d := range sc.DeltaSweep {
+		d := d
+		vals, err := averagePoint(sc, int64(i)+1, 2, func(rng *rand.Rand) ([]float64, error) {
+			g := graph.Complete(sc.Nodes)
+			p := traffic.DefaultSyntheticParams(sc.Nodes, sc.Window)
+			p.RouteChoices = 10
+			load, err := traffic.Synthetic(g, p, rng)
+			if err != nil {
+				return nil, err
+			}
+			plus, err := runOctopusPlan(g, load, core.Options{
+				Window: sc.Window, Delta: d, Matcher: sc.Matcher, MultiRoute: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Octopus-random: resolve one random route per flow.
+			resolved := load.Clone()
+			for fi := range resolved.Flows {
+				f := &resolved.Flows[fi]
+				f.Routes = []traffic.Route{f.Routes[rng.Intn(len(f.Routes))]}
+			}
+			rnd, err := runOctopus(g, resolved, core.Options{
+				Window: sc.Window, Delta: d, Matcher: sc.Matcher,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return []float64{plus.delivered * 100, rnd.delivered * 100}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(d), Values: vals})
+	}
+	return t, nil
+}
+
+// Fig10a: execution time of a single scheduler iteration for increasing
+// network size, Octopus (exact matching) vs Octopus-G (greedy matching),
+// in microseconds.
+func Fig10a(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "10a", Title: "Per-iteration execution time vs network size",
+		XLabel: "nodes", YLabel: "microseconds per iteration",
+		Series: []string{"Octopus", "Octopus-G"},
+	}
+	for i, n := range sc.TimeNodeSweep {
+		n := n
+		vals, err := averagePoint(sc, int64(i)+1, 2, func(rng *rand.Rand) ([]float64, error) {
+			g := graph.Complete(n)
+			load, err := traffic.Synthetic(g, traffic.DefaultSyntheticParams(n, sc.Window), rng)
+			if err != nil {
+				return nil, err
+			}
+			exact, err := iterationTime(g, load, core.Options{Window: sc.Window, Delta: sc.Delta, Matcher: core.MatcherExact})
+			if err != nil {
+				return nil, err
+			}
+			greedy, err := iterationTime(g, load, core.Options{Window: sc.Window, Delta: sc.Delta, Matcher: core.MatcherGreedy})
+			if err != nil {
+				return nil, err
+			}
+			return []float64{float64(exact.Microseconds()), float64(greedy.Microseconds())}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(n), Values: vals})
+	}
+	return t, nil
+}
+
+// iterationTime measures the wall time of the scheduler's first greedy
+// iteration (the practically significant cost per §4.1: iterations are
+// computed while the previous configuration is being served).
+func iterationTime(g *graph.Digraph, load *traffic.Load, opt core.Options) (time.Duration, error) {
+	s, err := core.New(g, load, opt)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if _, _, err := s.Step(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// Fig10b: packets delivered for varying reconfiguration delay at the
+// largest sweep size, Octopus vs Octopus-G.
+func Fig10b(sc Scale) (*Table, error) {
+	n := sc.TimeNodeSweep[len(sc.TimeNodeSweep)-1]
+	t := &Table{
+		ID: "10b", Title: "Octopus vs Octopus-G at large scale",
+		XLabel: "delta", YLabel: "% packets delivered",
+		Series: []string{"Octopus", "Octopus-G"},
+	}
+	for i, d := range sc.DeltaSweep {
+		d := d
+		vals, err := averagePoint(sc, int64(i)+1, 2, func(rng *rand.Rand) ([]float64, error) {
+			g := graph.Complete(n)
+			load, err := traffic.Synthetic(g, traffic.DefaultSyntheticParams(n, sc.Window), rng)
+			if err != nil {
+				return nil, err
+			}
+			oct, err := runOctopus(g, load, core.Options{Window: sc.Window, Delta: d, Matcher: core.MatcherExact})
+			if err != nil {
+				return nil, err
+			}
+			gre, err := runOctopus(g, load, core.Options{Window: sc.Window, Delta: d, Matcher: core.MatcherGreedy})
+			if err != nil {
+				return nil, err
+			}
+			return []float64{oct.delivered * 100, gre.delivered * 100}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(d), Values: vals})
+	}
+	return t, nil
+}

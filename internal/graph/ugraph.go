@@ -1,0 +1,122 @@
+package graph
+
+import "sort"
+
+// UEdge is an undirected edge between nodes A and B, stored with A < B.
+type UEdge struct {
+	A, B int
+}
+
+// NormUEdge returns the undirected edge {a, b} in canonical (A < B) form.
+func NormUEdge(a, b int) UEdge {
+	if a > b {
+		a, b = b, a
+	}
+	return UEdge{a, b}
+}
+
+// Ugraph is a general undirected graph over nodes 0..N()-1, modeling
+// networks with bidirectional (full-duplex) links per the paper's §7. Valid
+// configurations of such a network are matchings of the Ugraph.
+type Ugraph struct {
+	n   int
+	adj [][]int
+	has map[UEdge]bool
+	m   int
+}
+
+// NewU returns an empty undirected graph over n nodes.
+func NewU(n int) *Ugraph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Ugraph{n: n, adj: make([][]int, n), has: make(map[UEdge]bool)}
+}
+
+// N returns the number of nodes.
+func (g *Ugraph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Ugraph) M() int { return g.m }
+
+// AddEdge inserts the undirected edge {a, b}. Self-loops are rejected;
+// re-adding an edge is a no-op.
+func (g *Ugraph) AddEdge(a, b int) {
+	if a < 0 || a >= g.n || b < 0 || b >= g.n {
+		panic("graph: node out of range")
+	}
+	if a == b {
+		panic("graph: self-loop")
+	}
+	e := NormUEdge(a, b)
+	if g.has[e] {
+		return
+	}
+	g.has[e] = true
+	g.adj[a] = insertSorted(g.adj[a], b)
+	g.adj[b] = insertSorted(g.adj[b], a)
+	g.m++
+}
+
+// HasEdge reports whether the undirected edge {a, b} exists.
+func (g *Ugraph) HasEdge(a, b int) bool { return g.has[NormUEdge(a, b)] }
+
+// Adj returns the sorted neighbors of node i. The returned slice must not
+// be modified.
+func (g *Ugraph) Adj(i int) []int { return g.adj[i] }
+
+// Edges returns all edges sorted by (A, B).
+func (g *Ugraph) Edges() []UEdge {
+	es := make([]UEdge, 0, g.m)
+	for e := range g.has {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].A != es[j].A {
+			return es[i].A < es[j].A
+		}
+		return es[i].B < es[j].B
+	})
+	return es
+}
+
+// IsMatching reports whether links form a matching of g: every edge exists
+// and no node is an endpoint of more than one edge.
+func (g *Ugraph) IsMatching(links []UEdge) bool {
+	used := make(map[int]bool, 2*len(links))
+	for _, e := range links {
+		if !g.has[NormUEdge(e.A, e.B)] {
+			return false
+		}
+		if used[e.A] || used[e.B] {
+			return false
+		}
+		used[e.A] = true
+		used[e.B] = true
+	}
+	return true
+}
+
+// Directed returns the directed view of g: each undirected edge {a, b}
+// becomes the two directed edges (a, b) and (b, a). A matching of g maps to
+// a set of bidirectional active links; the simulate package uses the
+// directed view to move packets in both directions.
+func (g *Ugraph) Directed() *Digraph {
+	d := New(g.n)
+	for e := range g.has {
+		d.AddEdge(e.A, e.B)
+		d.AddEdge(e.B, e.A)
+	}
+	return d
+}
+
+// CompleteU returns the complete undirected graph over n nodes.
+func CompleteU(n int) *Ugraph {
+	g := NewU(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}

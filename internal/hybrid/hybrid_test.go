@@ -1,0 +1,158 @@
+package hybrid
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/core"
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+)
+
+func synthetic(t *testing.T, seed int64, n, window int) (*graph.Digraph, *traffic.Load) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.Complete(n)
+	load, err := traffic.Synthetic(g, traffic.DefaultSyntheticParams(n, window), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, load
+}
+
+func TestHybridImprovesOnCircuitOnly(t *testing.T) {
+	g, load := synthetic(t, 1, 10, 300)
+	opt := core.Options{Window: 300, Delta: 10}
+	circuitOnly, err := Schedule(g, load.Clone(), opt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := Schedule(g, load.Clone(), opt, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if circuitOnly.PacketDelivered != 0 {
+		t.Fatal("zero-rate packet network served packets")
+	}
+	if hybrid.Delivered() <= circuitOnly.Delivered() {
+		t.Fatalf("hybrid (%d) not above circuit-only (%d)", hybrid.Delivered(), circuitOnly.Delivered())
+	}
+	if hybrid.Delivered() > hybrid.TotalPackets {
+		t.Fatal("delivered more than offered")
+	}
+}
+
+func TestHybridBudgets(t *testing.T) {
+	// Packet network budget = rate * window per port; one flow of 100
+	// packets with rate 0.1 and window 200 -> 20 packets absorbed.
+	g := graph.Complete(3)
+	load := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 1, Size: 100, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+	}}
+	res, err := Schedule(g, load, core.Options{Window: 200, Delta: 10}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketDelivered != 20 {
+		t.Fatalf("PacketDelivered = %d, want 20", res.PacketDelivered)
+	}
+	// The remaining 80 fit easily in the circuit window.
+	if res.Delivered() != 100 {
+		t.Fatalf("Delivered = %d, want 100", res.Delivered())
+	}
+}
+
+func TestHybridSmallFlowsFirst(t *testing.T) {
+	// Two flows share a source port; only the small one fits the packet
+	// budget and must be chosen first.
+	g := graph.Complete(3)
+	load := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 1, Size: 1000, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+		{ID: 2, Size: 5, Src: 0, Dst: 2, Routes: []traffic.Route{{0, 2}}},
+	}}
+	res, err := Schedule(g, load, core.Options{Window: 100, Delta: 10}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget = 10 per port: flow 2 (size 5) fully absorbed, then 5 more of
+	// flow 1.
+	if res.PacketDelivered != 10 {
+		t.Fatalf("PacketDelivered = %d, want 10", res.PacketDelivered)
+	}
+}
+
+func TestHybridAbsorbsEverything(t *testing.T) {
+	g := graph.Complete(3)
+	load := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 1, Size: 5, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+	}}
+	res, err := Schedule(g, load, core.Options{Window: 100, Delta: 10}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Circuit != nil {
+		t.Fatal("circuit scheduler ran for fully absorbed load")
+	}
+	if res.Delivered() != 5 || res.DeliveredFraction() != 1 {
+		t.Fatalf("Delivered = %d", res.Delivered())
+	}
+}
+
+func TestHybridRejectsNegativeRate(t *testing.T) {
+	g := graph.Complete(3)
+	load := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 1, Size: 5, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+	}}
+	if _, err := Schedule(g, load, core.Options{Window: 100, Delta: 10}, -1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	g, load := synthetic(t, 2, 8, 60)
+	w, res, err := Makespan(g, load, core.Options{Delta: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Pending != 0 {
+		t.Fatalf("makespan result incomplete: %+v", res)
+	}
+	if res.Schedule.Cost() > w {
+		t.Fatalf("schedule cost %d exceeds makespan %d", res.Schedule.Cost(), w)
+	}
+	// Minimality: one slot less must be infeasible.
+	o := core.Options{Delta: 5, Window: w - 1}
+	s, err := core.New(g, load, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shorter, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shorter.Pending == 0 {
+		t.Fatalf("window %d also fully serves; makespan %d not minimal", w-1, w)
+	}
+}
+
+func TestMakespanSingleFlow(t *testing.T) {
+	// One 1-hop flow of s packets with delay Δ: makespan is exactly s+Δ.
+	g := graph.Complete(2)
+	load := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 1, Size: 17, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+	}}
+	w, _, err := Makespan(g, load, core.Options{Delta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 20 {
+		t.Fatalf("makespan = %d, want 20", w)
+	}
+}
+
+func TestMakespanEmptyLoad(t *testing.T) {
+	g := graph.Complete(2)
+	if _, _, err := Makespan(g, &traffic.Load{}, core.Options{Delta: 1}); err == nil {
+		t.Fatal("empty load accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchBipartite(n int, density int, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Intn(density) == 0 {
+				edges = append(edges, Edge{From: i, To: j, Weight: rng.Int63n(1 << 20)})
+			}
+		}
+	}
+	return edges
+}
+
+func BenchmarkHungarian(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		edges := benchBipartite(n, 4, 1)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MaxWeightBipartite(n, edges)
+			}
+		})
+	}
+}
+
+func BenchmarkGreedyBipartite(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		edges := benchBipartite(n, 4, 1)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				GreedyBipartite(n, edges)
+			}
+		})
+	}
+}
+
+func BenchmarkHopcroftKarp(b *testing.B) {
+	for _, n := range []int{100, 400} {
+		edges := benchBipartite(n, 4, 1)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MaxCardinalityBipartite(n, edges)
+			}
+		})
+	}
+}
+
+func benchGeneral(n int, density int, seed int64) []UEdge {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []UEdge
+	for a := 0; a < n; a++ {
+		for c := a + 1; c < n; c++ {
+			if rng.Intn(density) == 0 {
+				edges = append(edges, UEdge{A: a, B: c, Weight: rng.Int63n(1 << 20)})
+			}
+		}
+	}
+	return edges
+}
+
+func BenchmarkBlossom(b *testing.B) {
+	for _, n := range []int{50, 100} {
+		edges := benchGeneral(n, 3, 1)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MaxWeightGeneral(n, edges)
+			}
+		})
+	}
+}
+
+func BenchmarkGreedyGeneral(b *testing.B) {
+	edges := benchGeneral(100, 3, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GreedyGeneral(100, edges)
+	}
+}
+
+func BenchmarkRadixSortEdges(b *testing.B) {
+	edges := benchBipartite(200, 2, 1)
+	work := make([]Edge, len(edges))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, edges)
+		radixSortEdges(work)
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1000:
+		return "n1000"
+	case n >= 400:
+		return "n400"
+	case n >= 200:
+		return "n200"
+	case n >= 100:
+		return "n100"
+	default:
+		return "n50"
+	}
+}

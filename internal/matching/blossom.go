@@ -1,0 +1,636 @@
+package matching
+
+// This file implements exact maximum-weight matching in general
+// (non-bipartite) graphs: Galil's O(n³) primal-dual blossom algorithm, in
+// the formulation popularized by Joris van Rantwijk's reference
+// implementation. It upgrades the bidirectional-fabric scheduling of the
+// paper's §7 from the greedy 1/2-approximation to the exact matcher the
+// paper assumes (Gabow-Tarjan); see DESIGN.md.
+//
+// Vertices carry dual variables, odd alternating cycles are shrunk into
+// blossoms (tracked in a forest of sub-blossoms), and each stage grows
+// alternating trees from free vertices, augmenting when two S-trees meet.
+// All arithmetic is integral: edge weights are doubled internally so dual
+// variables and slacks stay integers.
+
+// MaxWeightGeneral returns an exact maximum-weight matching of a general
+// undirected graph over n nodes, together with its total weight. Edges
+// with non-positive weight and self-loops are ignored, so the matching may
+// leave nodes unmatched.
+func MaxWeightGeneral(n int, edges []UEdge) ([]UEdge, int64) {
+	filtered := make([]UEdge, 0, len(edges))
+	for _, e := range edges {
+		if e.Weight > 0 && e.A != e.B && e.A >= 0 && e.A < n && e.B >= 0 && e.B < n {
+			// Double weights so slack/2 stays integral.
+			filtered = append(filtered, UEdge{A: e.A, B: e.B, Weight: 2 * e.Weight})
+		}
+	}
+	if len(filtered) == 0 {
+		return nil, 0
+	}
+	s := newBlossomSolver(n, filtered)
+	s.solve()
+	var m []UEdge
+	var total int64
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if seen[v] || s.mate[v] == -1 {
+			continue
+		}
+		w := s.endpoint[s.mate[v]]
+		k := s.mate[v] / 2
+		seen[v] = true
+		seen[w] = true
+		wt := s.edges[k].Weight / 2
+		m = append(m, UEdge{A: min2(v, w), B: max2(v, w), Weight: wt})
+		total += wt
+	}
+	return m, total
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+const noVertex = -1
+
+type blossomSolver struct {
+	nvertex int
+	edges   []UEdge // weights doubled
+
+	endpoint  []int   // endpoint[p]: edges[p/2].A if p even else .B
+	neighbend [][]int // remote endpoints of edges incident to each vertex
+
+	mate      []int // remote endpoint of v's matched edge, or -1
+	label     []int // 0 free, 1 S, 2 T (plus breadcrumb bit 4)
+	labelend  []int
+	inblossom []int
+
+	blossomparent    []int
+	blossomchilds    [][]int
+	blossombase      []int
+	blossomendps     [][]int
+	bestedge         []int
+	blossombestedges [][]int
+	unusedblossoms   []int
+
+	dualvar   []int64
+	allowedge []bool
+	queue     []int
+}
+
+func newBlossomSolver(n int, edges []UEdge) *blossomSolver {
+	s := &blossomSolver{nvertex: n, edges: edges}
+	var maxweight int64
+	for _, e := range edges {
+		if e.Weight > maxweight {
+			maxweight = e.Weight
+		}
+	}
+	s.endpoint = make([]int, 2*len(edges))
+	s.neighbend = make([][]int, n)
+	for k, e := range edges {
+		s.endpoint[2*k] = e.A
+		s.endpoint[2*k+1] = e.B
+		s.neighbend[e.A] = append(s.neighbend[e.A], 2*k+1)
+		s.neighbend[e.B] = append(s.neighbend[e.B], 2*k)
+	}
+	s.mate = make([]int, n)
+	s.label = make([]int, 2*n)
+	s.labelend = make([]int, 2*n)
+	s.inblossom = make([]int, n)
+	s.blossomparent = make([]int, 2*n)
+	s.blossomchilds = make([][]int, 2*n)
+	s.blossombase = make([]int, 2*n)
+	s.blossomendps = make([][]int, 2*n)
+	s.bestedge = make([]int, 2*n)
+	s.blossombestedges = make([][]int, 2*n)
+	s.dualvar = make([]int64, 2*n)
+	s.allowedge = make([]bool, len(edges))
+	for v := 0; v < n; v++ {
+		s.mate[v] = -1
+		s.inblossom[v] = v
+		s.blossombase[v] = v
+		s.dualvar[v] = maxweight
+	}
+	for b := 0; b < 2*n; b++ {
+		s.blossomparent[b] = -1
+		s.labelend[b] = -1
+		s.bestedge[b] = -1
+	}
+	for b := n; b < 2*n; b++ {
+		s.blossombase[b] = -1
+		s.unusedblossoms = append(s.unusedblossoms, b)
+	}
+	return s
+}
+
+func (s *blossomSolver) slack(k int) int64 {
+	e := s.edges[k]
+	return s.dualvar[e.A] + s.dualvar[e.B] - 2*e.Weight
+}
+
+func (s *blossomSolver) blossomLeaves(b int, out *[]int) {
+	if b < s.nvertex {
+		*out = append(*out, b)
+		return
+	}
+	for _, t := range s.blossomchilds[b] {
+		s.blossomLeaves(t, out)
+	}
+}
+
+func (s *blossomSolver) assignLabel(w, t, p int) {
+	b := s.inblossom[w]
+	s.label[w] = t
+	s.label[b] = t
+	s.labelend[w] = p
+	s.labelend[b] = p
+	s.bestedge[w] = -1
+	s.bestedge[b] = -1
+	if t == 1 {
+		s.blossomLeaves(b, &s.queue)
+	} else if t == 2 {
+		base := s.blossombase[b]
+		s.assignLabel(s.endpoint[s.mate[base]], 1, s.mate[base]^1)
+	}
+}
+
+func (s *blossomSolver) scanBlossom(v, w int) int {
+	var path []int
+	base := noVertex
+	for v != noVertex || w != noVertex {
+		b := s.inblossom[v]
+		if s.label[b]&4 != 0 {
+			base = s.blossombase[b]
+			break
+		}
+		path = append(path, b)
+		s.label[b] = 5
+		if s.labelend[b] == -1 {
+			v = noVertex
+		} else {
+			v = s.endpoint[s.labelend[b]]
+			b = s.inblossom[v]
+			v = s.endpoint[s.labelend[b]]
+		}
+		if w != noVertex {
+			v, w = w, v
+		}
+	}
+	for _, b := range path {
+		s.label[b] = 1
+	}
+	return base
+}
+
+func (s *blossomSolver) addBlossom(base, k int) {
+	v, w := s.edges[k].A, s.edges[k].B
+	bb := s.inblossom[base]
+	bv := s.inblossom[v]
+	bw := s.inblossom[w]
+	b := s.unusedblossoms[len(s.unusedblossoms)-1]
+	s.unusedblossoms = s.unusedblossoms[:len(s.unusedblossoms)-1]
+	s.blossombase[b] = base
+	s.blossomparent[b] = -1
+	s.blossomparent[bb] = b
+	var path, endps []int
+	for bv != bb {
+		s.blossomparent[bv] = b
+		path = append(path, bv)
+		endps = append(endps, s.labelend[bv])
+		v = s.endpoint[s.labelend[bv]]
+		bv = s.inblossom[v]
+	}
+	path = append(path, bb)
+	reverseInts(path)
+	reverseInts(endps)
+	endps = append(endps, 2*k)
+	for bw != bb {
+		s.blossomparent[bw] = b
+		path = append(path, bw)
+		endps = append(endps, s.labelend[bw]^1)
+		w = s.endpoint[s.labelend[bw]]
+		bw = s.inblossom[w]
+	}
+	s.blossomchilds[b] = path
+	s.blossomendps[b] = endps
+	s.label[b] = 1
+	s.labelend[b] = s.labelend[bb]
+	s.dualvar[b] = 0
+	var leaves []int
+	s.blossomLeaves(b, &leaves)
+	for _, vtx := range leaves {
+		if s.label[s.inblossom[vtx]] == 2 {
+			s.queue = append(s.queue, vtx)
+		}
+		s.inblossom[vtx] = b
+	}
+	bestedgeto := make([]int, 2*s.nvertex)
+	for i := range bestedgeto {
+		bestedgeto[i] = -1
+	}
+	for _, child := range path {
+		var nblists [][]int
+		if s.blossombestedges[child] == nil {
+			var leaves2 []int
+			s.blossomLeaves(child, &leaves2)
+			for _, vtx := range leaves2 {
+				lst := make([]int, 0, len(s.neighbend[vtx]))
+				for _, p := range s.neighbend[vtx] {
+					lst = append(lst, p/2)
+				}
+				nblists = append(nblists, lst)
+			}
+		} else {
+			nblists = [][]int{s.blossombestedges[child]}
+		}
+		for _, nblist := range nblists {
+			for _, kk := range nblist {
+				j := s.edges[kk].B
+				if s.inblossom[j] == b {
+					j = s.edges[kk].A
+				}
+				bj := s.inblossom[j]
+				if bj != b && s.label[bj] == 1 &&
+					(bestedgeto[bj] == -1 || s.slack(kk) < s.slack(bestedgeto[bj])) {
+					bestedgeto[bj] = kk
+				}
+			}
+		}
+		s.blossombestedges[child] = nil
+		s.bestedge[child] = -1
+	}
+	be := make([]int, 0, len(bestedgeto))
+	for _, kk := range bestedgeto {
+		if kk != -1 {
+			be = append(be, kk)
+		}
+	}
+	s.blossombestedges[b] = be
+	s.bestedge[b] = -1
+	for _, kk := range be {
+		if s.bestedge[b] == -1 || s.slack(kk) < s.slack(s.bestedge[b]) {
+			s.bestedge[b] = kk
+		}
+	}
+}
+
+func (s *blossomSolver) expandBlossom(b int, endstage bool) {
+	for _, bc := range s.blossomchilds[b] {
+		s.blossomparent[bc] = -1
+		if bc < s.nvertex {
+			s.inblossom[bc] = bc
+		} else if endstage && s.dualvar[bc] == 0 {
+			s.expandBlossom(bc, endstage)
+		} else {
+			var leaves []int
+			s.blossomLeaves(bc, &leaves)
+			for _, vtx := range leaves {
+				s.inblossom[vtx] = bc
+			}
+		}
+	}
+	if !endstage && s.label[b] == 2 {
+		entrychild := s.inblossom[s.endpoint[s.labelend[b]^1]]
+		j := 0
+		for i, bc := range s.blossomchilds[b] {
+			if bc == entrychild {
+				j = i
+				break
+			}
+		}
+		nch := len(s.blossomchilds[b])
+		var jstep, endptrick int
+		if j&1 != 0 {
+			j -= nch
+			jstep = 1
+			endptrick = 0
+		} else {
+			jstep = -1
+			endptrick = 1
+		}
+		p := s.labelend[b]
+		for j != 0 {
+			s.label[s.endpoint[p^1]] = 0
+			idx := mod(j-endptrick, nch)
+			s.label[s.endpoint[s.blossomendps[b][idx]^endptrick^1]] = 0
+			s.assignLabel(s.endpoint[p^1], 2, p)
+			s.allowedge[s.blossomendps[b][idx]/2] = true
+			j += jstep
+			idx = mod(j-endptrick, nch)
+			p = s.blossomendps[b][idx] ^ endptrick
+			s.allowedge[p/2] = true
+			j += jstep
+		}
+		bv := s.blossomchilds[b][mod(j, nch)]
+		s.label[s.endpoint[p^1]] = 2
+		s.label[bv] = 2
+		s.labelend[s.endpoint[p^1]] = p
+		s.labelend[bv] = p
+		s.bestedge[bv] = -1
+		j += jstep
+		for s.blossomchilds[b][mod(j, nch)] != entrychild {
+			bv = s.blossomchilds[b][mod(j, nch)]
+			if s.label[bv] == 1 {
+				j += jstep
+				continue
+			}
+			var leaves []int
+			s.blossomLeaves(bv, &leaves)
+			vtx := noVertex
+			for _, lv := range leaves {
+				if s.label[lv] != 0 {
+					vtx = lv
+					break
+				}
+			}
+			if vtx != noVertex {
+				s.label[vtx] = 0
+				s.label[s.endpoint[s.mate[s.blossombase[bv]]]] = 0
+				s.assignLabel(vtx, 2, s.labelend[vtx])
+			}
+			j += jstep
+		}
+	}
+	s.label[b] = -1
+	s.labelend[b] = -1
+	s.blossomchilds[b] = nil
+	s.blossomendps[b] = nil
+	s.blossombase[b] = -1
+	s.blossombestedges[b] = nil
+	s.bestedge[b] = -1
+	s.unusedblossoms = append(s.unusedblossoms, b)
+}
+
+func (s *blossomSolver) augmentBlossom(b, v int) {
+	t := v
+	for s.blossomparent[t] != b {
+		t = s.blossomparent[t]
+	}
+	if t >= s.nvertex {
+		s.augmentBlossom(t, v)
+	}
+	nch := len(s.blossomchilds[b])
+	i := 0
+	for idx, bc := range s.blossomchilds[b] {
+		if bc == t {
+			i = idx
+			break
+		}
+	}
+	j := i
+	var jstep, endptrick int
+	if i&1 != 0 {
+		j -= nch
+		jstep = 1
+		endptrick = 0
+	} else {
+		jstep = -1
+		endptrick = 1
+	}
+	for j != 0 {
+		j += jstep
+		t = s.blossomchilds[b][mod(j, nch)]
+		p := s.blossomendps[b][mod(j-endptrick, nch)] ^ endptrick
+		if t >= s.nvertex {
+			s.augmentBlossom(t, s.endpoint[p])
+		}
+		j += jstep
+		t = s.blossomchilds[b][mod(j, nch)]
+		if t >= s.nvertex {
+			s.augmentBlossom(t, s.endpoint[p^1])
+		}
+		s.mate[s.endpoint[p]] = p ^ 1
+		s.mate[s.endpoint[p^1]] = p
+	}
+	rotated := make([]int, 0, nch)
+	rotated = append(rotated, s.blossomchilds[b][i:]...)
+	rotated = append(rotated, s.blossomchilds[b][:i]...)
+	s.blossomchilds[b] = rotated
+	rotatedE := make([]int, 0, nch)
+	rotatedE = append(rotatedE, s.blossomendps[b][i:]...)
+	rotatedE = append(rotatedE, s.blossomendps[b][:i]...)
+	s.blossomendps[b] = rotatedE
+	s.blossombase[b] = s.blossombase[s.blossomchilds[b][0]]
+}
+
+func (s *blossomSolver) augmentMatching(k int) {
+	v, w := s.edges[k].A, s.edges[k].B
+	for _, sp := range [2][2]int{{v, 2*k + 1}, {w, 2 * k}} {
+		vtx, p := sp[0], sp[1]
+		for {
+			bs := s.inblossom[vtx]
+			if bs >= s.nvertex {
+				s.augmentBlossom(bs, vtx)
+			}
+			s.mate[vtx] = p
+			if s.labelend[bs] == -1 {
+				break // reached a single (free) vertex
+			}
+			t := s.endpoint[s.labelend[bs]]
+			bt := s.inblossom[t]
+			vtx = s.endpoint[s.labelend[bt]]
+			j := s.endpoint[s.labelend[bt]^1]
+			if bt >= s.nvertex {
+				s.augmentBlossom(bt, j)
+			}
+			s.mate[j] = s.labelend[bt]
+			p = s.labelend[bt] ^ 1
+		}
+	}
+}
+
+// solve runs the main stages.
+func (s *blossomSolver) solve() {
+	n := s.nvertex
+	for stage := 0; stage < n; stage++ {
+		for i := range s.label {
+			s.label[i] = 0
+		}
+		for i := range s.bestedge {
+			s.bestedge[i] = -1
+		}
+		for b := n; b < 2*n; b++ {
+			s.blossombestedges[b] = nil
+		}
+		for i := range s.allowedge {
+			s.allowedge[i] = false
+		}
+		s.queue = s.queue[:0]
+		for v := 0; v < n; v++ {
+			if s.mate[v] == -1 && s.label[s.inblossom[v]] == 0 {
+				s.assignLabel(v, 1, -1)
+			}
+		}
+		augmented := false
+		for {
+			for len(s.queue) > 0 && !augmented {
+				v := s.queue[len(s.queue)-1]
+				s.queue = s.queue[:len(s.queue)-1]
+				for _, p := range s.neighbend[v] {
+					k := p / 2
+					w := s.endpoint[p]
+					if s.inblossom[v] == s.inblossom[w] {
+						continue
+					}
+					var kslack int64
+					if !s.allowedge[k] {
+						kslack = s.slack(k)
+						if kslack <= 0 {
+							s.allowedge[k] = true
+						}
+					}
+					if s.allowedge[k] {
+						switch {
+						case s.label[s.inblossom[w]] == 0:
+							s.assignLabel(w, 2, p^1)
+						case s.label[s.inblossom[w]] == 1:
+							base := s.scanBlossom(v, w)
+							if base >= 0 {
+								s.addBlossom(base, k)
+							} else {
+								s.augmentMatching(k)
+								augmented = true
+							}
+						case s.label[w] == 0:
+							s.label[w] = 2
+							s.labelend[w] = p ^ 1
+						}
+						if augmented {
+							break
+						}
+					} else if s.label[s.inblossom[w]] == 1 {
+						b := s.inblossom[v]
+						if s.bestedge[b] == -1 || kslack < s.slack(s.bestedge[b]) {
+							s.bestedge[b] = k
+						}
+					} else if s.label[w] == 0 {
+						if s.bestedge[w] == -1 || kslack < s.slack(s.bestedge[w]) {
+							s.bestedge[w] = k
+						}
+					}
+				}
+			}
+			if augmented {
+				break
+			}
+			// Compute the dual adjustment delta.
+			deltatype := -1
+			var delta int64
+			deltaedge := -1
+			deltablossom := -1
+			// delta1: minimum vertex dual (we compute a maximum-weight,
+			// not maximum-cardinality, matching).
+			deltatype = 1
+			delta = s.dualvar[0]
+			for v := 1; v < n; v++ {
+				if s.dualvar[v] < delta {
+					delta = s.dualvar[v]
+				}
+			}
+			// delta2: minimum slack of an edge from an S-vertex to a free
+			// vertex.
+			for v := 0; v < n; v++ {
+				if s.label[s.inblossom[v]] == 0 && s.bestedge[v] != -1 {
+					if d := s.slack(s.bestedge[v]); d < delta {
+						delta = d
+						deltatype = 2
+						deltaedge = s.bestedge[v]
+					}
+				}
+			}
+			// delta3: half the minimum slack of an edge between S-blossoms.
+			for b := 0; b < 2*n; b++ {
+				if s.blossomparent[b] == -1 && s.label[b] == 1 && s.bestedge[b] != -1 {
+					if d := s.slack(s.bestedge[b]) / 2; d < delta {
+						delta = d
+						deltatype = 3
+						deltaedge = s.bestedge[b]
+					}
+				}
+			}
+			// delta4: minimum dual of a top-level T-blossom.
+			for b := n; b < 2*n; b++ {
+				if s.blossombase[b] >= 0 && s.blossomparent[b] == -1 && s.label[b] == 2 {
+					if s.dualvar[b] < delta {
+						delta = s.dualvar[b]
+						deltatype = 4
+						deltablossom = b
+					}
+				}
+			}
+			// Apply delta to the duals.
+			for v := 0; v < n; v++ {
+				switch s.label[s.inblossom[v]] {
+				case 1:
+					s.dualvar[v] -= delta
+				case 2:
+					s.dualvar[v] += delta
+				}
+			}
+			for b := n; b < 2*n; b++ {
+				if s.blossombase[b] >= 0 && s.blossomparent[b] == -1 {
+					switch s.label[b] {
+					case 1:
+						s.dualvar[b] += delta
+					case 2:
+						s.dualvar[b] -= delta
+					}
+				}
+			}
+			switch deltatype {
+			case 1:
+				// Optimum reached.
+				goto endStage
+			case 2:
+				s.allowedge[deltaedge] = true
+				i := s.edges[deltaedge].A
+				if s.label[s.inblossom[i]] == 0 {
+					i = s.edges[deltaedge].B
+				}
+				s.queue = append(s.queue, i)
+			case 3:
+				s.allowedge[deltaedge] = true
+				s.queue = append(s.queue, s.edges[deltaedge].A)
+			case 4:
+				s.expandBlossom(deltablossom, false)
+			}
+		}
+	endStage:
+		if !augmented {
+			break
+		}
+		// End of stage: expand all S-blossoms with zero dual.
+		for b := n; b < 2*n; b++ {
+			if s.blossomparent[b] == -1 && s.blossombase[b] >= 0 &&
+				s.label[b] == 1 && s.dualvar[b] == 0 {
+				s.expandBlossom(b, true)
+			}
+		}
+	}
+}
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

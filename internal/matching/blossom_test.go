@@ -1,0 +1,138 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxWeightGeneralTriangle(t *testing.T) {
+	// Triangle: only one edge can be matched; the heaviest wins.
+	edges := []UEdge{{0, 1, 5}, {1, 2, 7}, {0, 2, 6}}
+	m, w := MaxWeightGeneral(3, edges)
+	if w != 7 || len(m) != 1 || m[0] != (UEdge{1, 2, 7}) {
+		t.Fatalf("got %v %d", m, w)
+	}
+}
+
+func TestMaxWeightGeneralAugmentingPath(t *testing.T) {
+	// Path with weights 3,4,3: optimum takes the two outer edges (6),
+	// which the greedy (4) misses.
+	edges := []UEdge{{0, 1, 3}, {1, 2, 4}, {2, 3, 3}}
+	m, w := MaxWeightGeneral(4, edges)
+	if w != 6 || len(m) != 2 {
+		t.Fatalf("got %v %d", m, w)
+	}
+}
+
+func TestMaxWeightGeneralBlossomCase(t *testing.T) {
+	// 5-cycle (forces a blossom) plus a pendant edge: classic case where
+	// naive alternating search without blossom shrinking fails.
+	edges := []UEdge{
+		{0, 1, 8}, {1, 2, 9}, {2, 3, 8}, {3, 4, 9}, {4, 0, 8},
+		{2, 5, 10},
+	}
+	m, w := MaxWeightGeneral(6, edges)
+	_, want := BruteForceGeneral(6, edges)
+	if w != want {
+		t.Fatalf("blossom case: got %d, want %d (m=%v)", w, want, m)
+	}
+}
+
+func TestMaxWeightGeneralEmptyAndDegenerate(t *testing.T) {
+	if m, w := MaxWeightGeneral(4, nil); m != nil || w != 0 {
+		t.Fatalf("empty: %v %d", m, w)
+	}
+	// Self-loops, negative weights, and out-of-range nodes are ignored.
+	junk := []UEdge{{1, 1, 5}, {0, 1, -3}, {7, 0, 9}, {0, -1, 2}}
+	if m, w := MaxWeightGeneral(3, junk); m != nil || w != 0 {
+		t.Fatalf("junk: %v %d", m, w)
+	}
+}
+
+func TestMaxWeightGeneralMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + rng.Intn(9)
+		edges := randGeneral(rng, n, 30)
+		m, w := MaxWeightGeneral(n, edges)
+		_, want := BruteForceGeneral(n, edges)
+		if w != want {
+			t.Fatalf("trial %d (n=%d): blossom %d != brute %d\nedges=%v", trial, n, w, want, edges)
+		}
+		if !isGeneralMatching(n, m) {
+			t.Fatalf("trial %d: invalid matching %v", trial, m)
+		}
+		if UWeight(m) != w {
+			t.Fatalf("trial %d: weight sum mismatch", trial)
+		}
+	}
+}
+
+func TestMaxWeightGeneralDenseOddWeights(t *testing.T) {
+	// Odd weights exercise the internal doubling that keeps duals
+	// integral.
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 120; trial++ {
+		n := 6 + rng.Intn(5)
+		var edges []UEdge
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				edges = append(edges, UEdge{a, b, int64(1 + 2*rng.Intn(15))})
+			}
+		}
+		_, w := MaxWeightGeneral(n, edges)
+		_, want := BruteForceGeneral(n, edges)
+		if w != want {
+			t.Fatalf("trial %d: %d != %d", trial, w, want)
+		}
+	}
+}
+
+func TestMaxWeightGeneralBeatsGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	better := 0
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + rng.Intn(8)
+		edges := randGeneral(rng, n, 50)
+		_, exact := MaxWeightGeneral(n, edges)
+		_, greedy := GreedyGeneral(n, edges)
+		if exact < greedy {
+			t.Fatalf("trial %d: exact %d below greedy %d", trial, exact, greedy)
+		}
+		if exact > greedy {
+			better++
+		}
+	}
+	if better == 0 {
+		t.Fatal("exact never beat greedy across 100 random instances")
+	}
+}
+
+func TestMaxWeightGeneralLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(7))
+	n := 80
+	var edges []UEdge
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Intn(3) == 0 {
+				edges = append(edges, UEdge{a, b, rng.Int63n(100000)})
+			}
+		}
+	}
+	m, w := MaxWeightGeneral(n, edges)
+	if !isGeneralMatching(n, m) {
+		t.Fatal("invalid matching at n=80")
+	}
+	_, aw := AugmentGeneral(n, edges, mustGreedy(n, edges))
+	if w < aw {
+		t.Fatalf("exact %d below greedy+augment %d", w, aw)
+	}
+}
+
+func mustGreedy(n int, edges []UEdge) []UEdge {
+	m, _ := GreedyGeneral(n, edges)
+	return m
+}

@@ -1,0 +1,79 @@
+package matching
+
+// MaxCardinalityBipartite returns a maximum-cardinality matching of the
+// bipartite graph with n left and n right nodes, using the Hopcroft-Karp
+// algorithm (O(E·√V)). Edge weights are ignored. The Solstice baseline
+// uses this to find the largest set of links that can carry demand above a
+// threshold simultaneously.
+func MaxCardinalityBipartite(n int, edges []Edge) []Edge {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			continue
+		}
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	const unmatched = -1
+	matchL := make([]int, n)
+	matchR := make([]int, n)
+	for i := range matchL {
+		matchL[i] = unmatched
+		matchR[i] = unmatched
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < n; u++ {
+			if matchL[u] == unmatched {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, v := range adj[u] {
+				w := matchR[v]
+				if w == unmatched {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range adj[u] {
+			w := matchR[v]
+			if w == unmatched || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+	for bfs() {
+		for u := 0; u < n; u++ {
+			if matchL[u] == unmatched {
+				dfs(u)
+			}
+		}
+	}
+	var m []Edge
+	for u := 0; u < n; u++ {
+		if matchL[u] != unmatched {
+			m = append(m, Edge{From: u, To: matchL[u]})
+		}
+	}
+	return m
+}

@@ -1,0 +1,98 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteMaxCardinality finds the maximum matching size by exhaustive search.
+func bruteMaxCardinality(n int, edges []Edge) int {
+	usedTo := make(map[int]bool)
+	byFrom := make(map[int][]int)
+	var froms []int
+	seen := map[int]bool{}
+	for _, e := range edges {
+		if !seen[e.From] {
+			seen[e.From] = true
+			froms = append(froms, e.From)
+		}
+		byFrom[e.From] = append(byFrom[e.From], e.To)
+	}
+	best := 0
+	var rec func(i, size int)
+	rec = func(i, size int) {
+		if size > best {
+			best = size
+		}
+		if i == len(froms) {
+			return
+		}
+		rec(i+1, size)
+		for _, v := range byFrom[froms[i]] {
+			if !usedTo[v] {
+				usedTo[v] = true
+				rec(i+1, size+1)
+				usedTo[v] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestMaxCardinalityBipartiteMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(6)
+		var edges []Edge
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					edges = append(edges, Edge{From: i, To: j})
+				}
+			}
+		}
+		m := MaxCardinalityBipartite(n, edges)
+		want := bruteMaxCardinality(n, edges)
+		if len(m) != want {
+			t.Fatalf("trial %d: got %d, want %d (edges %v)", trial, len(m), want, edges)
+		}
+		if !isBipartiteMatching(n, m) {
+			t.Fatalf("trial %d: invalid matching %v", trial, m)
+		}
+		// Every returned edge must exist in the input.
+		have := map[[2]int]bool{}
+		for _, e := range edges {
+			have[[2]int{e.From, e.To}] = true
+		}
+		for _, e := range m {
+			if !have[[2]int{e.From, e.To}] {
+				t.Fatalf("trial %d: fabricated edge %v", trial, e)
+			}
+		}
+	}
+}
+
+func TestMaxCardinalityPerfect(t *testing.T) {
+	// A permutation graph has a perfect matching.
+	n := 30
+	var edges []Edge
+	rng := rand.New(rand.NewSource(19))
+	perm := rng.Perm(n)
+	for i, j := range perm {
+		edges = append(edges, Edge{From: i, To: j})
+	}
+	if m := MaxCardinalityBipartite(n, edges); len(m) != n {
+		t.Fatalf("perfect matching not found: %d of %d", len(m), n)
+	}
+}
+
+func TestMaxCardinalityEmpty(t *testing.T) {
+	if m := MaxCardinalityBipartite(5, nil); m != nil {
+		t.Fatalf("empty graph returned %v", m)
+	}
+	// Out-of-range edges ignored.
+	if m := MaxCardinalityBipartite(2, []Edge{{From: 5, To: 0}, {From: -1, To: 1}}); m != nil {
+		t.Fatalf("out-of-range edges matched: %v", m)
+	}
+}

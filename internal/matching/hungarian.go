@@ -1,0 +1,169 @@
+package matching
+
+import "math"
+
+const inf = math.MaxInt64 / 4
+
+// MaxWeightBipartite returns an exact maximum-weight matching of the
+// bipartite graph with n output-port nodes and n input-port nodes, together
+// with its total weight. Edges with non-positive weight never appear in the
+// result, so the matching is free to leave nodes unmatched.
+//
+// The implementation is the classic Hungarian algorithm with potentials
+// (Jonker-Volgenant style shortest augmenting paths) on a dense matrix over
+// only the nodes incident to a positive-weight edge, giving O(k^3) time for
+// k active nodes. It stands in for the OR-Tools linear-assignment solver
+// the paper used; both compute the same optimum.
+func MaxWeightBipartite(n int, edges []Edge) ([]Edge, int64) {
+	// Compact the instance to active rows/columns.
+	rowID := make(map[int]int)
+	colID := make(map[int]int)
+	var rows, cols []int
+	for _, e := range edges {
+		if e.Weight <= 0 {
+			continue
+		}
+		if _, ok := rowID[e.From]; !ok {
+			rowID[e.From] = len(rows)
+			rows = append(rows, e.From)
+		}
+		if _, ok := colID[e.To]; !ok {
+			colID[e.To] = len(cols)
+			cols = append(cols, e.To)
+		}
+	}
+	nr, nc := len(rows), len(cols)
+	if nr == 0 {
+		return nil, 0
+	}
+	// The shortest-augmenting-path formulation below needs nr <= nc.
+	// Pad columns with dummies of weight 0 if necessary.
+	if nc < nr {
+		nc = nr
+	}
+	// Dense weight matrix; absent pairs have weight 0, equivalent to
+	// leaving the row unmatched.
+	w := make([]int64, nr*nc)
+	for _, e := range edges {
+		if e.Weight <= 0 {
+			continue
+		}
+		i, j := rowID[e.From], colID[e.To]
+		if e.Weight > w[i*nc+j] {
+			w[i*nc+j] = e.Weight // keep max of duplicate edges
+		}
+	}
+
+	// Minimize cost = -weight. 1-indexed arrays as in the standard
+	// formulation; p[j] is the row assigned to column j.
+	u := make([]int64, nr+1)
+	v := make([]int64, nc+1)
+	p := make([]int, nc+1)
+	way := make([]int, nc+1)
+	minv := make([]int64, nc+1)
+	used := make([]bool, nc+1)
+	for i := 1; i <= nr; i++ {
+		p[0] = i
+		j0 := 0
+		for j := 0; j <= nc; j++ {
+			minv[j] = inf
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			var delta int64 = inf
+			j1 := 0
+			for j := 1; j <= nc; j++ {
+				if used[j] {
+					continue
+				}
+				cur := -w[(i0-1)*nc+(j-1)] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= nc; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	var m []Edge
+	var total int64
+	for j := 1; j <= nc; j++ {
+		i := p[j]
+		if i == 0 || j > len(cols) {
+			continue
+		}
+		wt := w[(i-1)*nc+(j-1)]
+		if wt > 0 {
+			m = append(m, Edge{From: rows[i-1], To: cols[j-1], Weight: wt})
+			total += wt
+		}
+	}
+	return m, total
+}
+
+// BruteForceBipartite returns an exact maximum-weight bipartite matching by
+// exhaustive search. Exponential; intended only as a test oracle for small
+// instances (at most ~8 active rows).
+func BruteForceBipartite(n int, edges []Edge) ([]Edge, int64) {
+	byFrom := make(map[int][]Edge)
+	var froms []int
+	for _, e := range edges {
+		if e.Weight <= 0 {
+			continue
+		}
+		if _, ok := byFrom[e.From]; !ok {
+			froms = append(froms, e.From)
+		}
+		byFrom[e.From] = append(byFrom[e.From], e)
+	}
+	usedTo := make(map[int]bool)
+	var best int64
+	var bestSet []Edge
+	var cur []Edge
+	var rec func(idx int, sum int64)
+	rec = func(idx int, sum int64) {
+		if idx == len(froms) {
+			if sum > best {
+				best = sum
+				bestSet = append([]Edge(nil), cur...)
+			}
+			return
+		}
+		rec(idx+1, sum) // leave froms[idx] unmatched
+		for _, e := range byFrom[froms[idx]] {
+			if usedTo[e.To] {
+				continue
+			}
+			usedTo[e.To] = true
+			cur = append(cur, e)
+			rec(idx+1, sum+e.Weight)
+			cur = cur[:len(cur)-1]
+			usedTo[e.To] = false
+		}
+	}
+	rec(0, 0)
+	return bestSet, best
+}

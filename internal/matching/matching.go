@@ -1,0 +1,123 @@
+// Package matching provides the weighted-matching substrates used by the
+// Octopus scheduler: an exact maximum-weight bipartite matcher (replacing
+// the Google OR-Tools linear-assignment solver used by the paper), the
+// linear-time greedy 2-approximate matcher that powers Octopus-G, and
+// matchers for general (non-bipartite) graphs used by the bidirectional
+// network model of the paper's §7.
+//
+// Weights are non-negative int64 values; the core package encodes the
+// paper's fractional packet weights exactly as scaled integers. All matchers
+// return only edges with strictly positive weight, so the returned edge set
+// is always a valid configuration matching of the underlying fabric.
+package matching
+
+// Edge is a weighted directed candidate link in a bipartite graph between
+// output ports (From) and input ports (To).
+type Edge struct {
+	From, To int
+	Weight   int64
+}
+
+// UEdge is a weighted undirected candidate link in a general graph.
+type UEdge struct {
+	A, B   int
+	Weight int64
+}
+
+// Weight sums the weights of a set of edges.
+func Weight(edges []Edge) int64 {
+	var w int64
+	for _, e := range edges {
+		w += e.Weight
+	}
+	return w
+}
+
+// UWeight sums the weights of a set of undirected edges.
+func UWeight(edges []UEdge) int64 {
+	var w int64
+	for _, e := range edges {
+		w += e.Weight
+	}
+	return w
+}
+
+// GreedyBipartite returns a greedy maximal matching built by repeatedly
+// taking the heaviest remaining edge whose endpoints are both free. It is a
+// classic 1/2-approximation of the maximum-weight matching [Avis '83] and is
+// the matcher behind the Octopus-G variant (paper §8, "Execution Time").
+// Edges with non-positive weight are ignored. Runs in O(E) plus the radix
+// sort of the edge weights.
+func GreedyBipartite(n int, edges []Edge) ([]Edge, int64) {
+	pos := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.Weight > 0 {
+			pos = append(pos, e)
+		}
+	}
+	radixSortEdges(pos)
+	usedFrom := make([]bool, n)
+	usedTo := make([]bool, n)
+	var m []Edge
+	var total int64
+	for _, e := range pos {
+		if usedFrom[e.From] || usedTo[e.To] {
+			continue
+		}
+		usedFrom[e.From] = true
+		usedTo[e.To] = true
+		m = append(m, e)
+		total += e.Weight
+	}
+	return m, total
+}
+
+// radixSortEdges sorts edges by weight descending using a stable LSD radix
+// sort on the (non-negative) weights, 11 bits per pass. Because the sort is
+// stable, callers that pass edges in (From, To) order get deterministic
+// tie-breaking. This is the "incredibly simple" linear-time path the paper
+// highlights for integer weights bounded by W.
+func radixSortEdges(edges []Edge) {
+	const bits = 11
+	const buckets = 1 << bits
+	const mask = buckets - 1
+	if len(edges) < 2 {
+		return
+	}
+	var maxW int64
+	for _, e := range edges {
+		if e.Weight > maxW {
+			maxW = e.Weight
+		}
+	}
+	buf := make([]Edge, len(edges))
+	src, dst := edges, buf
+	var count [buckets]int
+	for shift := uint(0); maxW>>shift > 0; shift += bits {
+		for i := range count {
+			count[i] = 0
+		}
+		for _, e := range src {
+			count[(e.Weight>>shift)&mask]++
+		}
+		// Descending order: bucket for the largest key first.
+		sum := 0
+		for b := buckets - 1; b >= 0; b-- {
+			c := count[b]
+			count[b] = sum
+			sum += c
+		}
+		for _, e := range src {
+			b := (e.Weight >> shift) & mask
+			dst[count[b]] = e
+			count[b]++
+		}
+		src, dst = dst, src
+	}
+	// Stability makes each pass preserve the order established by less
+	// significant digits, so running every pass with descending buckets
+	// yields a descending sort overall.
+	if &src[0] != &edges[0] {
+		copy(edges, src)
+	}
+}

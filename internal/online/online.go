@@ -1,0 +1,183 @@
+// Package online schedules dynamically arriving flows — the online
+// generalization the paper's conclusion (§9) names as future work. Time is
+// divided into scheduling epochs of one window each; at every epoch
+// boundary the controller merges newly arrived flows with the backlog
+// carried over from previous epochs (packets continue from their current
+// positions in the network) and runs the Octopus scheduler on the combined
+// load. Older traffic keeps lower flow IDs, so the paper's
+// weight-then-flow-ID priority scheme naturally ages the backlog forward.
+package online
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"octopus/internal/core"
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+)
+
+// Arrival is one flow plus the slot at which the controller learns of it.
+type Arrival struct {
+	Flow traffic.Flow
+	At   int
+}
+
+// Options configures an online run. Core.Window is the epoch length.
+type Options struct {
+	Core core.Options
+	// MaxEpochs caps the run (0 = run until every admitted flow is
+	// delivered, with a safety cap relative to the offered load).
+	MaxEpochs int
+}
+
+// EpochStat summarizes one scheduling epoch.
+type EpochStat struct {
+	Epoch     int // 0-based epoch index
+	Arrived   int // packets newly admitted at this epoch boundary
+	Offered   int // packets scheduled this epoch (arrivals + backlog)
+	Delivered int
+	Backlog   int // packets carried into the next epoch
+}
+
+// Result reports an online run.
+type Result struct {
+	Epochs    []EpochStat
+	Delivered int
+	Total     int
+	// Completion maps each arrival's flow ID to the 1-based epoch in
+	// which its last packet was delivered (absent if never completed).
+	Completion map[int]int
+}
+
+// MeanCompletionEpochs returns the average number of epochs between a
+// flow's arrival epoch and its completion, over completed flows (0 when
+// none completed).
+func (r *Result) MeanCompletionEpochs(arrivals []Arrival, window int) float64 {
+	if len(r.Completion) == 0 {
+		return 0
+	}
+	total := 0.0
+	count := 0
+	for _, a := range arrivals {
+		done, ok := r.Completion[a.Flow.ID]
+		if !ok {
+			continue
+		}
+		arriveEpoch := a.At/window + 1 // admitted at the next boundary
+		total += float64(done - arriveEpoch + 1)
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// Run schedules the arrivals over successive epochs.
+func Run(g *graph.Digraph, arrivals []Arrival, opt Options) (*Result, error) {
+	if opt.Core.Window <= 0 {
+		return nil, errors.New("online: Core.Window must be positive")
+	}
+	seen := make(map[int]bool, len(arrivals))
+	total := 0
+	for _, a := range arrivals {
+		if a.At < 0 {
+			return nil, fmt.Errorf("online: flow %d has negative arrival %d", a.Flow.ID, a.At)
+		}
+		if seen[a.Flow.ID] {
+			return nil, fmt.Errorf("online: duplicate arrival flow ID %d", a.Flow.ID)
+		}
+		seen[a.Flow.ID] = true
+		total += a.Flow.Size
+	}
+	queue := append([]Arrival(nil), arrivals...)
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].At < queue[j].At })
+
+	maxEpochs := opt.MaxEpochs
+	if maxEpochs == 0 {
+		// Safety cap: the offered load can always drain within
+		// total-hops epochs (one packet-hop per epoch is a gross
+		// underestimate of progress).
+		maxEpochs = 16
+		for _, a := range queue {
+			maxEpochs += a.Flow.Size * traffic.MaxRouteLen
+		}
+	}
+
+	res := &Result{Total: total, Completion: make(map[int]int)}
+	backlog := &traffic.Load{}
+	// origin maps current backlog flow IDs to arrival flow IDs.
+	origin := make(map[int]int)
+	outstanding := make(map[int]int) // arrival flow ID -> undelivered packets
+	nextArrival := 0
+	nextID := 0
+
+	for epoch := 0; epoch < maxEpochs; epoch++ {
+		boundary := epoch * opt.Core.Window
+		arrivedPkts := 0
+		for nextArrival < len(queue) && queue[nextArrival].At <= boundary {
+			a := queue[nextArrival]
+			f := a.Flow
+			origin[nextID] = f.ID
+			outstanding[f.ID] = f.Size
+			f.ID = nextID
+			nextID++
+			backlog.Flows = append(backlog.Flows, f)
+			arrivedPkts += f.Size
+			nextArrival++
+		}
+		if len(backlog.Flows) == 0 {
+			if nextArrival == len(queue) {
+				break // drained and no more arrivals
+			}
+			res.Epochs = append(res.Epochs, EpochStat{Epoch: epoch})
+			continue // idle epoch waiting for arrivals
+		}
+
+		s, err := core.New(g, backlog, opt.Core)
+		if err != nil {
+			return nil, err
+		}
+		sres, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		// Per-flow delivery accounting against the arrivals.
+		pending := s.PendingByFlow()
+		for i := range backlog.Flows {
+			f := &backlog.Flows[i]
+			delivered := f.Size - pending[f.ID]
+			if delivered == 0 {
+				continue
+			}
+			orig := origin[f.ID]
+			outstanding[orig] -= delivered
+			if outstanding[orig] == 0 {
+				res.Completion[orig] = epoch + 1
+			}
+		}
+		residual, remap := s.ResidualLoadMap()
+		newOrigin := make(map[int]int, len(remap))
+		maxNew := -1
+		for newID, oldID := range remap {
+			newOrigin[newID] = origin[oldID]
+			if newID > maxNew {
+				maxNew = newID
+			}
+		}
+		res.Delivered += sres.Delivered
+		res.Epochs = append(res.Epochs, EpochStat{
+			Epoch:     epoch,
+			Arrived:   arrivedPkts,
+			Offered:   sres.TotalPackets,
+			Delivered: sres.Delivered,
+			Backlog:   sres.Pending,
+		})
+		backlog = residual
+		origin = newOrigin
+		nextID = maxNew + 1
+	}
+	return res, nil
+}

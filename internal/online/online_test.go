@@ -1,0 +1,136 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/core"
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+)
+
+func TestSingleFlowCompletesFirstEpoch(t *testing.T) {
+	g := graph.Complete(3)
+	arr := []Arrival{{
+		Flow: traffic.Flow{ID: 7, Size: 10, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+		At:   0,
+	}}
+	res, err := Run(g, arr, Options{Core: core.Options{Window: 100, Delta: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 10 || res.Total != 10 {
+		t.Fatalf("delivered %d/%d", res.Delivered, res.Total)
+	}
+	if res.Completion[7] != 1 {
+		t.Fatalf("completion = %v, want epoch 1", res.Completion)
+	}
+	if len(res.Epochs) != 1 {
+		t.Fatalf("epochs = %+v", res.Epochs)
+	}
+}
+
+func TestLateArrivalWaitsForItsEpoch(t *testing.T) {
+	g := graph.Complete(3)
+	arr := []Arrival{{
+		Flow: traffic.Flow{ID: 1, Size: 5, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+		At:   150, // arrives during epoch 1, admitted at the epoch-2 boundary
+	}}
+	res, err := Run(g, arr, Options{Core: core.Options{Window: 100, Delta: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completion[1] != 3 {
+		t.Fatalf("completion = %v, want epoch 3 (admitted at slot 200)", res.Completion)
+	}
+	// Epochs 0 and 1 were idle.
+	if res.Epochs[0].Offered != 0 || res.Epochs[1].Offered != 0 {
+		t.Fatalf("expected idle leading epochs: %+v", res.Epochs)
+	}
+}
+
+func TestOverloadDrainsAcrossEpochs(t *testing.T) {
+	g := graph.Complete(8)
+	rng := rand.New(rand.NewSource(3))
+	p := traffic.DefaultSyntheticParams(8, 600) // 3x one epoch's capacity
+	load, err := traffic.Synthetic(g, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arr []Arrival
+	for _, f := range load.Flows {
+		arr = append(arr, Arrival{Flow: f, At: (f.ID % 3) * 200})
+	}
+	res, err := Run(g, arr, Options{Core: core.Options{Window: 200, Delta: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Total {
+		t.Fatalf("delivered %d of %d", res.Delivered, res.Total)
+	}
+	if len(res.Completion) != len(arr) {
+		t.Fatalf("only %d of %d flows completed", len(res.Completion), len(arr))
+	}
+	// Epoch accounting: delivered + backlog = offered each epoch.
+	for _, e := range res.Epochs {
+		if e.Offered != e.Delivered+e.Backlog {
+			t.Fatalf("epoch %d: %d != %d + %d", e.Epoch, e.Offered, e.Delivered, e.Backlog)
+		}
+	}
+	if res.MeanCompletionEpochs(arr, 200) < 1 {
+		t.Fatalf("mean completion %f < 1 epoch", res.MeanCompletionEpochs(arr, 200))
+	}
+}
+
+func TestMaxEpochsCap(t *testing.T) {
+	g := graph.Complete(4)
+	arr := []Arrival{{
+		Flow: traffic.Flow{ID: 1, Size: 1000, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+		At:   0,
+	}}
+	res, err := Run(g, arr, Options{Core: core.Options{Window: 50, Delta: 10}, MaxEpochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 2 {
+		t.Fatalf("epochs = %d, want 2", len(res.Epochs))
+	}
+	if res.Delivered >= res.Total {
+		t.Fatal("cap did not bite")
+	}
+	if _, done := res.Completion[1]; done {
+		t.Fatal("incomplete flow marked completed")
+	}
+}
+
+func TestOnlineValidation(t *testing.T) {
+	g := graph.Complete(3)
+	mk := func() Arrival {
+		return Arrival{Flow: traffic.Flow{ID: 1, Size: 1, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}}}
+	}
+	if _, err := Run(g, []Arrival{mk()}, Options{}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	neg := mk()
+	neg.At = -5
+	if _, err := Run(g, []Arrival{neg}, Options{Core: core.Options{Window: 10, Delta: 1}}); err == nil {
+		t.Fatal("negative arrival accepted")
+	}
+	if _, err := Run(g, []Arrival{mk(), mk()}, Options{Core: core.Options{Window: 10, Delta: 1}}); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+}
+
+func TestOnlineEmptyArrivals(t *testing.T) {
+	g := graph.Complete(3)
+	res, err := Run(g, nil, Options{Core: core.Options{Window: 10, Delta: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 0 || res.Delivered != 0 || len(res.Epochs) != 0 {
+		t.Fatalf("empty run produced %+v", res)
+	}
+	if res.MeanCompletionEpochs(nil, 10) != 0 {
+		t.Fatal("mean completion of nothing nonzero")
+	}
+}

@@ -1,0 +1,69 @@
+package schedule
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteGantt renders the schedule as an ASCII Gantt-style chart: one row
+// per node over n nodes, one column per configuration, each cell showing
+// the node's active out-link destination (or '.' when the node's output
+// port is dark). The header row carries each configuration's duration.
+// Useful for eyeballing what a scheduler decided (mhsim -gantt).
+func (s *Schedule) WriteGantt(w io.Writer, n int) error {
+	if len(s.Configs) == 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	// Column width: widest destination label or duration.
+	width := 1
+	for _, c := range s.Configs {
+		if l := len(fmt.Sprint(c.Alpha)); l > width {
+			width = l
+		}
+		for _, e := range c.Links {
+			if l := len(fmt.Sprint(e.To)); l > width {
+				width = l
+			}
+		}
+	}
+	rowLabel := len(fmt.Sprint(n - 1))
+	pad := func(sv string) string {
+		if len(sv) < width {
+			return strings.Repeat(" ", width-len(sv)) + sv
+		}
+		return sv
+	}
+	// Header: durations (each configuration is preceded by Δ).
+	if _, err := fmt.Fprintf(w, "%s  Δ=%d, α per configuration:\n", strings.Repeat(" ", rowLabel), s.Delta); err != nil {
+		return err
+	}
+	header := make([]string, len(s.Configs))
+	for i, c := range s.Configs {
+		header[i] = pad(fmt.Sprint(c.Alpha))
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", rowLabel), strings.Join(header, " ")); err != nil {
+		return err
+	}
+	for node := 0; node < n; node++ {
+		cells := make([]string, len(s.Configs))
+		for i, c := range s.Configs {
+			cells[i] = pad(".")
+			for _, e := range c.Links {
+				if e.From == node {
+					cells[i] = pad(fmt.Sprint(e.To))
+					break
+				}
+			}
+		}
+		label := fmt.Sprint(node)
+		if len(label) < rowLabel {
+			label = strings.Repeat(" ", rowLabel-len(label)) + label
+		}
+		if _, err := fmt.Fprintf(w, "%s> %s\n", label, strings.Join(cells, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

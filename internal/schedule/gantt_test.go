@@ -1,0 +1,50 @@
+package schedule
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"octopus/internal/graph"
+)
+
+func TestWriteGantt(t *testing.T) {
+	s := &Schedule{Delta: 5, Configs: []Configuration{
+		{Links: []graph.Edge{{From: 0, To: 1}, {From: 2, To: 0}}, Alpha: 30},
+		{Links: []graph.Edge{{From: 1, To: 2}}, Alpha: 7},
+	}}
+	var buf bytes.Buffer
+	if err := s.WriteGantt(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	// Header (2 lines) + one row per node.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Δ=5") {
+		t.Fatalf("missing delta header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "30") || !strings.Contains(lines[1], "7") {
+		t.Fatalf("missing durations: %q", lines[1])
+	}
+	// Node 0 sends to 1 in config 0, idle in config 1.
+	if !strings.HasPrefix(lines[2], "0>") || !strings.Contains(lines[2], "1") || !strings.Contains(lines[2], ".") {
+		t.Fatalf("node 0 row: %q", lines[2])
+	}
+	// Node 1 idle then sends to 2.
+	if !strings.HasPrefix(lines[3], "1>") || !strings.Contains(lines[3], "2") {
+		t.Fatalf("node 1 row: %q", lines[3])
+	}
+}
+
+func TestWriteGanttEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Schedule{}).WriteGantt(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatalf("got %q", buf.String())
+	}
+}

@@ -1,0 +1,72 @@
+package schedule
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"octopus/internal/graph"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := &Schedule{Delta: 7, Configs: []Configuration{
+		{Links: []graph.Edge{{From: 0, To: 1}, {From: 2, To: 3}}, Alpha: 30},
+		{Links: []graph.Edge{{From: 1, To: 0}}, Alpha: 9},
+	}}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Delta != 7 || len(got.Configs) != 2 || got.Cost() != s.Cost() {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i := range s.Configs {
+		if got.Configs[i].Alpha != s.Configs[i].Alpha || len(got.Configs[i].Links) != len(s.Configs[i].Links) {
+			t.Fatalf("config %d differs", i)
+		}
+		for k := range s.Configs[i].Links {
+			if got.Configs[i].Links[k] != s.Configs[i].Links[k] {
+				t.Fatalf("config %d link %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestScheduleReadJSONRejects(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"delta":-1,"configs":[]}`,
+		`{"delta":1,"configs":[{"alpha":0,"from":[],"to":[]}]}`,
+		`{"delta":1,"configs":[{"alpha":5,"from":[0],"to":[]}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestScheduleSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.json")
+	s := &Schedule{Delta: 2, Configs: []Configuration{
+		{Links: []graph.Edge{{From: 0, To: 1}}, Alpha: 3},
+	}}
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost() != 5 {
+		t.Fatalf("cost = %d", got.Cost())
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package schedule
+
+import (
+	"testing"
+
+	"octopus/internal/graph"
+)
+
+func TestCost(t *testing.T) {
+	s := &Schedule{Delta: 20}
+	if s.Cost() != 0 {
+		t.Fatalf("empty cost = %d", s.Cost())
+	}
+	s.Configs = []Configuration{
+		{Links: []graph.Edge{{From: 0, To: 1}}, Alpha: 50},
+		{Links: []graph.Edge{{From: 1, To: 2}}, Alpha: 100},
+	}
+	if s.Cost() != 50+20+100+20 {
+		t.Fatalf("cost = %d", s.Cost())
+	}
+}
+
+func TestActiveLinkSlots(t *testing.T) {
+	s := &Schedule{Delta: 5, Configs: []Configuration{
+		{Links: []graph.Edge{{From: 0, To: 1}, {From: 2, To: 3}}, Alpha: 10},
+		{Links: []graph.Edge{{From: 1, To: 0}}, Alpha: 7},
+	}}
+	if got := s.ActiveLinkSlots(); got != 2*10+7 {
+		t.Fatalf("ActiveLinkSlots = %d", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := graph.Complete(4)
+	ok := &Schedule{Delta: 2, Configs: []Configuration{
+		{Links: []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}}, Alpha: 3},
+	}}
+	if err := ok.Validate(g, 10, 1); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if err := ok.Validate(g, 4, 1); err == nil {
+		t.Fatal("over-window schedule accepted")
+	}
+	if err := ok.Validate(g, 0, 1); err != nil {
+		t.Fatal("window check not skipped for window=0")
+	}
+	badAlpha := &Schedule{Configs: []Configuration{{Links: nil, Alpha: 0}}}
+	if err := badAlpha.Validate(g, 0, 1); err == nil {
+		t.Fatal("zero-alpha configuration accepted")
+	}
+	notMatching := &Schedule{Configs: []Configuration{
+		{Links: []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}}, Alpha: 1},
+	}}
+	if err := notMatching.Validate(g, 0, 1); err == nil {
+		t.Fatal("non-matching accepted at ports=1")
+	}
+	if err := notMatching.Validate(g, 0, 2); err != nil {
+		t.Fatalf("2-port configuration rejected: %v", err)
+	}
+	// ports < 1 treated as 1.
+	if err := notMatching.Validate(g, 0, 0); err == nil {
+		t.Fatal("ports=0 did not default to 1")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	mk := func() *Schedule {
+		return &Schedule{Delta: 10, Configs: []Configuration{
+			{Links: []graph.Edge{{From: 0, To: 1}}, Alpha: 30}, // cost 40
+			{Links: []graph.Edge{{From: 1, To: 2}}, Alpha: 30}, // cost 40
+		}}
+	}
+	s := mk()
+	if s.Truncate(100) {
+		t.Fatal("truncated a fitting schedule")
+	}
+	s = mk()
+	if !s.Truncate(70) || s.Cost() != 70 || s.Configs[1].Alpha != 20 {
+		t.Fatalf("shorten-last failed: cost=%d configs=%v", s.Cost(), s.Configs)
+	}
+	s = mk()
+	// Window 45: dropping the last config leaves cost 40 <= 45.
+	if !s.Truncate(45) || len(s.Configs) != 1 || s.Cost() != 40 {
+		t.Fatalf("drop-last failed: cost=%d len=%d", s.Cost(), len(s.Configs))
+	}
+	s = mk()
+	if !s.Truncate(0) || len(s.Configs) != 0 {
+		t.Fatalf("truncate-to-zero failed: %v", s.Configs)
+	}
+}
+
+func TestConfigurationString(t *testing.T) {
+	c := Configuration{Links: []graph.Edge{{From: 0, To: 1}, {From: 2, To: 3}}, Alpha: 7}
+	if got := c.String(); got != "(0->1 2->3, 7)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

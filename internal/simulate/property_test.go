@@ -1,0 +1,158 @@
+package simulate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"octopus/internal/graph"
+	"octopus/internal/schedule"
+	"octopus/internal/traffic"
+)
+
+// randomScenario builds a random small fabric, load, and schedule.
+func randomScenario(seed int64) (*graph.Digraph, *traffic.Load, *schedule.Schedule) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(6)
+	g := graph.Complete(n)
+	load := &traffic.Load{}
+	nflows := 1 + rng.Intn(6)
+	for f := 0; f < nflows; f++ {
+		src := rng.Intn(n)
+		dst := (src + 1 + rng.Intn(n-1)) % n
+		hops := 1 + rng.Intn(2)
+		route, ok := traffic.RandomRoute(g, src, dst, hops, rng)
+		if !ok {
+			continue
+		}
+		load.Flows = append(load.Flows, traffic.Flow{
+			ID: f + 1, Size: 1 + rng.Intn(20), Src: src, Dst: dst,
+			Routes: []traffic.Route{route},
+		})
+	}
+	sch := &schedule.Schedule{Delta: rng.Intn(4)}
+	nconfigs := rng.Intn(6)
+	for c := 0; c < nconfigs; c++ {
+		var links []graph.Edge
+		usedF := map[int]bool{}
+		usedT := map[int]bool{}
+		for tries := 0; tries < n; tries++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j && !usedF[i] && !usedT[j] {
+				links = append(links, graph.Edge{From: i, To: j})
+				usedF[i] = true
+				usedT[j] = true
+			}
+		}
+		if len(links) == 0 {
+			continue
+		}
+		sch.Configs = append(sch.Configs, schedule.Configuration{Links: links, Alpha: 1 + rng.Intn(15)})
+	}
+	return g, load, sch
+}
+
+// Property: basic conservation and metric sanity on random scenarios, in
+// both bulk and multi-hop replay modes.
+func TestSimulatorInvariantsProperty(t *testing.T) {
+	f := func(seed int64, multihop bool) bool {
+		g, load, sch := randomScenario(seed)
+		if len(load.Flows) == 0 {
+			return true
+		}
+		res, err := Run(g, load, sch, Options{MultiHop: multihop})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		total := load.TotalPackets()
+		if res.TotalPackets != total {
+			return false
+		}
+		if res.Delivered < 0 || res.Delivered > total {
+			return false
+		}
+		if res.Hops < res.Delivered { // a delivered packet crossed >= 1 hop
+			return false
+		}
+		if res.Psi < 0 || res.Psi > int64(total)*traffic.WeightScale {
+			return false
+		}
+		if res.Utilization() < 0 || res.Utilization() > 1.000001 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: multi-hop replay never delivers less than bulk replay of the
+// same schedule (chaining only adds opportunities).
+func TestMultiHopDominatesBulkProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, load, sch := randomScenario(seed)
+		if len(load.Flows) == 0 {
+			return true
+		}
+		bulk, err := Run(g, load, sch, Options{})
+		if err != nil {
+			return false
+		}
+		multi, err := Run(g, load, sch, Options{MultiHop: true})
+		if err != nil {
+			return false
+		}
+		return multi.Hops >= bulk.Hops && multi.Psi >= bulk.Psi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: growing the window never decreases delivery (prefix replay).
+func TestWindowMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, load, sch := randomScenario(seed)
+		if len(load.Flows) == 0 || len(sch.Configs) == 0 {
+			return true
+		}
+		prev := -1
+		for _, w := range []int{5, 10, 20, 40, 80, 0} {
+			res, err := Run(g, load, sch, Options{Window: w})
+			if err != nil {
+				return false
+			}
+			if res.Delivered < prev {
+				return false
+			}
+			prev = res.Delivered
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: replay is deterministic.
+func TestReplayDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, load, sch := randomScenario(seed)
+		if len(load.Flows) == 0 {
+			return true
+		}
+		a, err1 := Run(g, load, sch, Options{MultiHop: true, TrackBuffers: true})
+		b, err2 := Run(g, load, sch, Options{MultiHop: true, TrackBuffers: true})
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		return a.Delivered == b.Delivered && a.Hops == b.Hops && a.Psi == b.Psi &&
+			a.SlotsUsed == b.SlotsUsed && a.MaxNodeBuffer == b.MaxNodeBuffer &&
+			a.MaxTotalBuffer == b.MaxTotalBuffer
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

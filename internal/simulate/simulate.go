@@ -1,0 +1,367 @@
+// Package simulate is the packet-level synchronous network simulator used
+// to measure every result in this repository, mirroring the paper's §8
+// ("a simple custom packet-level simulator that routes traffic
+// synchronously, one packet transmission in each time slot over each active
+// link").
+//
+// Given a fabric, a traffic load with fixed routes, and a configuration
+// schedule, Run replays the schedule slot by slot: packets wait in
+// virtual output queues (VOQs) at each node, are prioritized on every
+// active link first by packet weight and then by flow ID (the paper's
+// packet-prioritizing scheme), and advance one hop per transmission. The
+// simulator is independent of the schedulers, so it serves as the
+// measurement authority: scheduler bookkeeping is cross-checked against it
+// in tests.
+package simulate
+
+import (
+	"fmt"
+	"sort"
+
+	"octopus/internal/graph"
+	"octopus/internal/schedule"
+	"octopus/internal/traffic"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// MultiHop allows a packet to traverse several hops within a single
+	// configuration (the relaxation of the paper's §5): a packet that
+	// crosses a link at slot t may cross the next link of its route from
+	// slot t+1 if that link is active.
+	MultiHop bool
+
+	// Ports is the number of input and output ports per node (the K-ports
+	// model of §7); 0 or 1 selects the standard single-port model.
+	Ports int
+
+	// Window, if positive, caps the replayed slots: each configuration
+	// costs its reconfiguration delay followed by its duration, and replay
+	// stops once the window is exhausted (the duration of the final
+	// configuration is truncated to fit).
+	Window int
+
+	// RouteChoice optionally selects which candidate route each flow uses
+	// (by flow ID -> index into Flow.Routes). Flows not present use route
+	// 0. The Octopus-random baseline resolves multi-route loads this way.
+	RouteChoice map[int]int
+
+	// Epsilon64 makes VOQs prioritize packets by the controller-assigned
+	// Octopus-e hop weight (1 + x·ε) instead of the plain packet weight,
+	// matching a scheduler run with the same core.Options.Epsilon64. The
+	// ψ metric always uses the plain weight.
+	Epsilon64 int
+
+	// SkipValidate skips schedule validation (useful when the caller has
+	// already validated, or intentionally replays a schedule over a larger
+	// fabric, as the RotorNet comparison does).
+	SkipValidate bool
+
+	// TrackBuffers records in-network buffering: after every
+	// configuration the simulator measures how many packets sit at
+	// intermediate nodes (past their source, short of their destination)
+	// and reports the peaks in Result.MaxNodeBuffer / MaxTotalBuffer.
+	// Multi-hop circuit scheduling trades switch-buffer memory for
+	// throughput; this quantifies the cost.
+	TrackBuffers bool
+
+	// TrackFlows records per-flow delivery counts in Result.FlowDelivered.
+	TrackFlows bool
+}
+
+// Result reports the outcome of a simulation.
+type Result struct {
+	TotalPackets    int   // packets in the offered load
+	Delivered       int   // packets that reached their final destination
+	Hops            int   // total packet-hops traversed
+	Psi             int64 // Σ hops(p)·w_p, in traffic.WeightScale units
+	ActiveLinkSlots int64 // Σ αₖ·|Mₖ| over replayed configurations
+	SlotsUsed       int   // total slots consumed, including reconfigurations
+	Configs         int   // configurations (fully or partially) replayed
+
+	// MaxNodeBuffer / MaxTotalBuffer are the peak per-node and aggregate
+	// in-network buffer occupancies observed at configuration boundaries
+	// (0 unless Options.TrackBuffers).
+	MaxNodeBuffer  int
+	MaxTotalBuffer int
+
+	// FlowDelivered maps flow ID to delivered packets (nil unless
+	// Options.TrackFlows).
+	FlowDelivered map[int]int
+}
+
+// DeliveredFraction returns Delivered / TotalPackets (0 for empty loads).
+func (r *Result) DeliveredFraction() float64 {
+	if r.TotalPackets == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.TotalPackets)
+}
+
+// Utilization returns the paper's link-utilization metric: packet-hops
+// traversed divided by active link-slots (0 if no link was ever active).
+func (r *Result) Utilization() float64 {
+	if r.ActiveLinkSlots == 0 {
+		return 0
+	}
+	return float64(r.Hops) / float64(r.ActiveLinkSlots)
+}
+
+// DeliveredOfPsi returns delivered packets as a fraction of the objective
+// value ψ expressed in packet equivalents (ψ/WeightScale), the metric of
+// the paper's Fig 7(a). Returns 0 when ψ is 0.
+func (r *Result) DeliveredOfPsi() float64 {
+	if r.Psi == 0 {
+		return 0
+	}
+	return float64(r.Delivered) * float64(traffic.WeightScale) / float64(r.Psi)
+}
+
+// group is an aggregated set of identical packets: same flow, same route,
+// same current position. Packets in a group are interchangeable.
+type group struct {
+	flowID int
+	route  traffic.Route
+	wlen   int   // hop count the packet weight derives from
+	weight int64 // per-packet ψ weight of the chosen route
+	prio   int64 // per-packet queueing priority (ε-adjusted hop weight)
+	pos    int   // current node is route[pos]
+	count  int
+	avail  int // first global slot at which these packets may move
+}
+
+// linkQueue is the VOQ holding packets at a node whose next hop uses a
+// specific link, ordered by the paper's priority scheme: weight descending,
+// then flow ID ascending.
+type linkQueue struct {
+	groups []*group
+}
+
+func (q *linkQueue) insert(g *group) {
+	i := sort.Search(len(q.groups), func(i int) bool {
+		o := q.groups[i]
+		if o.prio != g.prio {
+			return o.prio < g.prio
+		}
+		return o.flowID >= g.flowID
+	})
+	// Merge with an existing group for the same flow when availability
+	// allows (same avail only, to keep slot semantics exact).
+	if i < len(q.groups) && q.groups[i].flowID == g.flowID && q.groups[i].pos == g.pos && q.groups[i].avail == g.avail {
+		q.groups[i].count += g.count
+		return
+	}
+	q.groups = append(q.groups, nil)
+	copy(q.groups[i+1:], q.groups[i:])
+	q.groups[i] = g
+}
+
+// state is the mutable simulation state.
+type state struct {
+	g          *graph.Digraph
+	eps        int
+	trackFlows bool
+	queues     map[graph.Edge]*linkQueue
+	res        Result
+}
+
+func newState(g *graph.Digraph, load *traffic.Load, opt Options) (*state, error) {
+	st := &state{g: g, eps: opt.Epsilon64, trackFlows: opt.TrackFlows, queues: make(map[graph.Edge]*linkQueue)}
+	if opt.TrackFlows {
+		st.res.FlowDelivered = make(map[int]int)
+	}
+	for i := range load.Flows {
+		f := &load.Flows[i]
+		ri := opt.RouteChoice[f.ID]
+		if ri < 0 || ri >= len(f.Routes) {
+			return nil, fmt.Errorf("simulate: flow %d route choice %d out of range", f.ID, ri)
+		}
+		r := f.Routes[ri]
+		st.res.TotalPackets += f.Size
+		st.enqueue(&group{
+			flowID: f.ID,
+			route:  r,
+			wlen:   f.WeightLen(r),
+			weight: traffic.Weight(f.WeightLen(r)),
+			pos:    0,
+			count:  f.Size,
+			avail:  0,
+		})
+	}
+	return st, nil
+}
+
+// enqueue places a group into the VOQ for its next hop, assigning its
+// queueing priority for the upcoming hop. Groups whose position is the
+// final destination are never enqueued.
+func (st *state) enqueue(g *group) {
+	g.prio = traffic.HopWeight(g.wlen, g.pos, st.eps)
+	e := graph.Edge{From: g.route[g.pos], To: g.route[g.pos+1]}
+	q := st.queues[e]
+	if q == nil {
+		q = &linkQueue{}
+		st.queues[e] = q
+	}
+	q.insert(g)
+}
+
+// serve transmits up to want packets over link e, considering only packets
+// available at or before slot avail. Crossed packets become available again
+// at slot nextAvail. Returns the number of packets transmitted.
+func (st *state) serve(e graph.Edge, want, availBy, nextAvail int) int {
+	q := st.queues[e]
+	if q == nil || want <= 0 {
+		return 0
+	}
+	served := 0
+	for i := 0; i < len(q.groups) && served < want; i++ {
+		g := q.groups[i]
+		if g.avail > availBy || g.count == 0 {
+			continue
+		}
+		take := want - served
+		if take > g.count {
+			take = g.count
+		}
+		g.count -= take
+		served += take
+		st.res.Hops += take
+		st.res.Psi += int64(take) * g.weight
+		if g.pos+1 == len(g.route)-1 {
+			st.res.Delivered += take
+			if st.trackFlows {
+				st.res.FlowDelivered[g.flowID] += take
+			}
+		} else {
+			st.enqueue(&group{
+				flowID: g.flowID,
+				route:  g.route,
+				wlen:   g.wlen,
+				weight: g.weight,
+				pos:    g.pos + 1,
+				count:  take,
+				avail:  nextAvail,
+			})
+		}
+	}
+	// Compact drained groups occasionally to keep queues small.
+	if served > 0 {
+		live := q.groups[:0]
+		for _, g := range q.groups {
+			if g.count > 0 {
+				live = append(live, g)
+			}
+		}
+		q.groups = live
+	}
+	return served
+}
+
+// Run replays sch over fabric g carrying load and returns the measured
+// result. The load must have fixed routes (see Options.RouteChoice for
+// multi-route loads).
+func Run(g *graph.Digraph, load *traffic.Load, sch *schedule.Schedule, opt Options) (*Result, error) {
+	ports := opt.Ports
+	if ports < 1 {
+		ports = 1
+	}
+	if !opt.SkipValidate {
+		// Structural validation only: the replay loop itself enforces the
+		// window by truncating, so an over-long schedule is not an error.
+		if err := sch.Validate(g, 0, ports); err != nil {
+			return nil, err
+		}
+		if err := load.Validate(g); err != nil {
+			return nil, err
+		}
+	}
+	st, err := newState(g, load, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	slot := 0 // global slot counter
+	for _, cfg := range sch.Configs {
+		// Reconfiguration delay precedes each configuration.
+		if opt.Window > 0 && slot+sch.Delta >= opt.Window {
+			break
+		}
+		slot += sch.Delta
+		alpha := cfg.Alpha
+		if opt.Window > 0 && slot+alpha > opt.Window {
+			alpha = opt.Window - slot
+		}
+		if alpha <= 0 {
+			break
+		}
+		st.res.Configs++
+		st.res.ActiveLinkSlots += int64(alpha) * int64(len(cfg.Links))
+
+		if opt.MultiHop {
+			st.runMultiHop(cfg.Links, slot, alpha)
+		} else {
+			// Bulk mode: packets arriving during this configuration
+			// cannot move again until the next one, so each link simply
+			// serves up to alpha packets available at the start.
+			for _, e := range cfg.Links {
+				st.serve(e, alpha, slot, slot+alpha)
+			}
+		}
+		slot += alpha
+		if opt.TrackBuffers {
+			st.measureBuffers()
+		}
+	}
+	st.res.SlotsUsed = slot
+	return &st.res, nil
+}
+
+// measureBuffers records the in-network buffer occupancy at a
+// configuration boundary: packets sitting at a node that is neither their
+// source nor their destination.
+func (st *state) measureBuffers() {
+	perNode := make(map[int]int)
+	total := 0
+	for _, q := range st.queues {
+		for _, g := range q.groups {
+			if g.count == 0 || g.pos == 0 {
+				continue
+			}
+			perNode[g.route[g.pos]] += g.count
+			total += g.count
+		}
+	}
+	for _, c := range perNode {
+		if c > st.res.MaxNodeBuffer {
+			st.res.MaxNodeBuffer = c
+		}
+	}
+	if total > st.res.MaxTotalBuffer {
+		st.res.MaxTotalBuffer = total
+	}
+}
+
+// runMultiHop replays one configuration slot by slot, letting packets chain
+// across consecutive active links with a one-slot switching latency.
+func (st *state) runMultiHop(links []graph.Edge, start, alpha int) {
+	es := append([]graph.Edge(nil), links...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	for s := 0; s < alpha; s++ {
+		now := start + s
+		moved := 0
+		for _, e := range es {
+			moved += st.serve(e, 1, now, now+1)
+		}
+		if moved == 0 {
+			// Nothing can move now; nothing in flight either (any packet
+			// that crossed became available the next slot, but none
+			// crossed). Remaining slots are idle.
+			break
+		}
+	}
+}

@@ -1,0 +1,418 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"octopus/internal/graph"
+)
+
+func TestWeight(t *testing.T) {
+	if Weight(1) != WeightScale {
+		t.Fatalf("Weight(1) = %d", Weight(1))
+	}
+	for l := 1; l <= MaxRouteLen; l++ {
+		if Weight(l)*int64(l) != WeightScale {
+			t.Fatalf("Weight(%d) not exact: %d", l, Weight(l))
+		}
+	}
+	mustPanic(t, func() { Weight(0) })
+	mustPanic(t, func() { Weight(MaxRouteLen + 1) })
+}
+
+func TestHopWeight(t *testing.T) {
+	// eps = 0: plain weight for every hop.
+	for l := 1; l <= 4; l++ {
+		for x := 0; x < l; x++ {
+			if HopWeight(l, x, 0) != Weight(l) {
+				t.Fatalf("HopWeight(%d,%d,0) != Weight", l, x)
+			}
+		}
+	}
+	// eps64 = 64 (ε=1): hop x weighs (1+x)·w exactly.
+	for l := 1; l <= 6; l++ {
+		for x := 0; x < l; x++ {
+			if HopWeight(l, x, 64) != Weight(l)*int64(1+x) {
+				t.Fatalf("HopWeight(%d,%d,64) = %d, want %d", l, x, HopWeight(l, x, 64), Weight(l)*int64(1+x))
+			}
+		}
+	}
+	// Later hops weigh strictly more with positive ε.
+	if HopWeight(3, 2, 1) <= HopWeight(3, 1, 1) {
+		t.Fatal("ε bonus not increasing in hop index")
+	}
+	mustPanic(t, func() { HopWeight(3, 3, 1) })
+	mustPanic(t, func() { HopWeight(3, -1, 1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestRouteBasics(t *testing.T) {
+	r := Route{3, 1, 4}
+	if r.Hops() != 2 || r.Src() != 3 || r.Dst() != 4 {
+		t.Fatalf("route accessors wrong: %v", r)
+	}
+	if !r.Equal(Route{3, 1, 4}) || r.Equal(Route{3, 1}) || r.Equal(Route{3, 2, 4}) {
+		t.Fatal("Equal wrong")
+	}
+}
+
+func TestLoadAccessors(t *testing.T) {
+	l := &Load{Flows: []Flow{
+		{ID: 0, Size: 10, Src: 0, Dst: 1, Routes: []Route{{0, 1}}},
+		{ID: 1, Size: 5, Src: 0, Dst: 2, Routes: []Route{{0, 1, 2}, {0, 3, 4, 2}}},
+	}}
+	if l.TotalPackets() != 15 {
+		t.Fatalf("TotalPackets = %d", l.TotalPackets())
+	}
+	if l.MaxHops() != 3 {
+		t.Fatalf("MaxHops = %d", l.MaxHops())
+	}
+	if l.TotalHops() != 10*1+5*2 {
+		t.Fatalf("TotalHops = %d", l.TotalHops())
+	}
+	if l.TotalWeightedHops() != 15*WeightScale {
+		t.Fatalf("TotalWeightedHops = %d", l.TotalWeightedHops())
+	}
+	c := l.Clone()
+	c.Flows[1].Routes[0][1] = 9
+	if l.Flows[1].Routes[0][1] == 9 {
+		t.Fatal("Clone shares route storage")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := graph.Complete(5)
+	good := &Load{Flows: []Flow{
+		{ID: 1, Size: 3, Src: 0, Dst: 2, Routes: []Route{{0, 1, 2}}},
+	}}
+	if err := good.Validate(g); err != nil {
+		t.Fatalf("valid load rejected: %v", err)
+	}
+	cases := []*Load{
+		{Flows: []Flow{{ID: 1, Size: 3, Src: 0, Dst: 2, Routes: []Route{{0, 1, 2}}}, {ID: 1, Size: 1, Src: 1, Dst: 2, Routes: []Route{{1, 2}}}}}, // dup ID
+		{Flows: []Flow{{ID: 1, Size: 0, Src: 0, Dst: 2, Routes: []Route{{0, 1, 2}}}}},                                                            // zero size
+		{Flows: []Flow{{ID: 1, Size: 3, Src: 0, Dst: 2}}},                                                                                        // no routes
+		{Flows: []Flow{{ID: 1, Size: 3, Src: 0, Dst: 2, Routes: []Route{{0, 2, 1}}}}},                                                            // wrong dst
+		{Flows: []Flow{{ID: 1, Size: 3, Src: 0, Dst: 2, Routes: []Route{{0}}}}},                                                                  // too short
+	}
+	for i, bad := range cases {
+		if err := bad.Validate(g); err == nil {
+			t.Errorf("case %d: invalid load accepted", i)
+		}
+	}
+	sparse := graph.New(3)
+	sparse.AddEdge(0, 1)
+	notPath := &Load{Flows: []Flow{{ID: 1, Size: 1, Src: 0, Dst: 2, Routes: []Route{{0, 2}}}}}
+	if err := notPath.Validate(sparse); err == nil {
+		t.Error("route over missing edge accepted")
+	}
+}
+
+func TestCyclicPerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		p := cyclicPerm(n, rng)
+		seen := make([]bool, n)
+		for i, v := range p {
+			if v == i {
+				t.Fatalf("fixed point at %d", i)
+			}
+			if seen[v] {
+				t.Fatalf("not a permutation: %v", p)
+			}
+			seen[v] = true
+		}
+		// Single cycle: following the permutation from 0 visits all nodes.
+		cur, steps := 0, 0
+		for {
+			cur = p[cur]
+			steps++
+			if cur == 0 {
+				break
+			}
+			if steps > n {
+				t.Fatal("did not return to start")
+			}
+		}
+		if steps != n {
+			t.Fatalf("permutation has %d-cycle, want %d-cycle", steps, n)
+		}
+	}
+}
+
+func TestRandomRoute(t *testing.T) {
+	g := graph.Complete(10)
+	rng := rand.New(rand.NewSource(2))
+	for hops := 1; hops <= 4; hops++ {
+		r, ok := RandomRoute(g, 0, 9, hops, rng)
+		if !ok {
+			t.Fatalf("no %d-hop route in complete graph", hops)
+		}
+		if r.Hops() != hops || r.Src() != 0 || r.Dst() != 9 {
+			t.Fatalf("bad route %v for hops=%d", r, hops)
+		}
+		if !g.IsRoute(r) {
+			t.Fatalf("route %v not a path", r)
+		}
+	}
+	// Direct hop requires the edge.
+	sparse := graph.New(3)
+	sparse.AddEdge(0, 1)
+	sparse.AddEdge(1, 2)
+	if _, ok := RandomRoute(sparse, 0, 2, 1, rng); ok {
+		t.Fatal("found direct route over missing edge")
+	}
+	if r, ok := RandomRoute(sparse, 0, 2, 2, rng); !ok || !r.Equal(Route{0, 1, 2}) {
+		t.Fatalf("2-hop route: %v %v", r, ok)
+	}
+	if _, ok := RandomRoute(g, 3, 3, 2, rng); ok {
+		t.Fatal("src==dst accepted")
+	}
+}
+
+func TestShortestRoute(t *testing.T) {
+	g := graph.Ring(6)
+	r, ok := ShortestRoute(g, 0, 3)
+	if !ok || r.Hops() != 3 {
+		t.Fatalf("ring shortest: %v %v", r, ok)
+	}
+	if !g.IsRoute(r) {
+		t.Fatal("shortest route not a path")
+	}
+	disc := graph.New(4)
+	disc.AddEdge(0, 1)
+	if _, ok := ShortestRoute(disc, 0, 3); ok {
+		t.Fatal("route found in disconnected graph")
+	}
+	if _, ok := ShortestRoute(g, 2, 2); ok {
+		t.Fatal("src==dst accepted")
+	}
+}
+
+func TestSyntheticDefaults(t *testing.T) {
+	p := DefaultSyntheticParams(100, 10000)
+	if p.NL != 4 || p.NS != 12 || p.CL != 7000 || p.CS != 3000 {
+		t.Fatalf("defaults at n=100: %+v", p)
+	}
+	p25 := DefaultSyntheticParams(25, 10000)
+	if p25.NL != 1 || p25.NS != 3 {
+		t.Fatalf("defaults at n=25: %+v", p25)
+	}
+	// Never zero flows per port.
+	p5 := DefaultSyntheticParams(5, 10000)
+	if p5.NL < 1 || p5.NS < 1 {
+		t.Fatalf("defaults at n=5: %+v", p5)
+	}
+}
+
+func TestSyntheticLoadShape(t *testing.T) {
+	g := graph.Complete(20)
+	rng := rand.New(rand.NewSource(3))
+	p := DefaultSyntheticParams(20, 1000) // NL=1 NS=2? -> 4*20/100=0 -> clamped 1; 12*20/100=2
+	load, err := Synthetic(g, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := load.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Per-port totals: every port sources exactly CL+CS packets.
+	perSrc := make(map[int]int)
+	perDst := make(map[int]int)
+	for _, f := range load.Flows {
+		perSrc[f.Src] += f.Size
+		perDst[f.Dst] += f.Size
+	}
+	want := p.CL + p.CS
+	for i := 0; i < 20; i++ {
+		if perSrc[i] != want || perDst[i] != want {
+			t.Fatalf("port %d totals src=%d dst=%d, want %d", i, perSrc[i], perDst[i], want)
+		}
+	}
+	// Route lengths spread across 1..3.
+	counts := map[int]int{}
+	for _, f := range load.Flows {
+		counts[f.Routes[0].Hops()]++
+	}
+	for h := 1; h <= 3; h++ {
+		if counts[h] == 0 {
+			t.Fatalf("no %d-hop flows: %v", h, counts)
+		}
+	}
+}
+
+func TestSyntheticFixedHops(t *testing.T) {
+	g := graph.Complete(15)
+	rng := rand.New(rand.NewSource(4))
+	p := DefaultSyntheticParams(15, 500)
+	p.FixedHops = 2
+	load, err := Synthetic(g, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range load.Flows {
+		if f.Routes[0].Hops() != 2 {
+			t.Fatalf("flow %d has %d hops, want 2", f.ID, f.Routes[0].Hops())
+		}
+	}
+}
+
+func TestSyntheticMultiRoute(t *testing.T) {
+	g := graph.Complete(15)
+	rng := rand.New(rand.NewSource(5))
+	p := DefaultSyntheticParams(15, 500)
+	p.RouteChoices = 10
+	load, err := Synthetic(g, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := load.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for _, f := range load.Flows {
+		if len(f.Routes) > 1 {
+			multi++
+		}
+		for _, r := range f.Routes {
+			if r.Hops() < 1 || r.Hops() > 3 {
+				t.Fatalf("route length %d outside 1..3", r.Hops())
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no flow received multiple routes")
+	}
+}
+
+func TestSyntheticOnPartialFabric(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.RandomPartial(30, 6, rng)
+	p := DefaultSyntheticParams(30, 300)
+	load, err := Synthetic(g, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := load.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceLike(t *testing.T) {
+	g := graph.Complete(30)
+	for _, kind := range []TraceKind{FBHadoop, FBWeb, FBDatabase, MSHeatmap} {
+		rng := rand.New(rand.NewSource(7))
+		load, err := TraceLike(g, kind, 1000, SyntheticParams{}, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := load.Validate(g); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		maxSize := 0
+		for _, f := range load.Flows {
+			if f.Size > maxSize {
+				maxSize = f.Size
+			}
+		}
+		if maxSize != 1000 {
+			t.Fatalf("%v: max flow %d, want window 1000", kind, maxSize)
+		}
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	want := map[TraceKind]string{FBHadoop: "FB-1", FBWeb: "FB-2", FBDatabase: "FB-3", MSHeatmap: "MS"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if TraceKind(99).String() != "TraceKind(99)" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestTraceSkewOrdering(t *testing.T) {
+	// Database loads should be more skewed than Hadoop loads: the share of
+	// traffic in the top 1% of flows must be higher.
+	g := graph.Complete(40)
+	topShare := func(kind TraceKind) float64 {
+		rng := rand.New(rand.NewSource(8))
+		load, err := TraceLike(g, kind, 10000, SyntheticParams{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := make([]int, 0, len(load.Flows))
+		total := 0
+		for _, f := range load.Flows {
+			sizes = append(sizes, f.Size)
+			total += f.Size
+		}
+		// Select top 1% by size.
+		k := len(sizes)/100 + 1
+		for i := 0; i < k; i++ {
+			maxIdx := i
+			for j := i + 1; j < len(sizes); j++ {
+				if sizes[j] > sizes[maxIdx] {
+					maxIdx = j
+				}
+			}
+			sizes[i], sizes[maxIdx] = sizes[maxIdx], sizes[i]
+		}
+		top := 0
+		for i := 0; i < k; i++ {
+			top += sizes[i]
+		}
+		return float64(top) / float64(total)
+	}
+	if db, hd := topShare(FBDatabase), topShare(FBHadoop); db <= hd {
+		t.Fatalf("database skew %f not above hadoop %f", db, hd)
+	}
+}
+
+// Property: synthetic generation is deterministic for a fixed seed.
+func TestSyntheticDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.Complete(12)
+		p := DefaultSyntheticParams(12, 200)
+		l1, err1 := Synthetic(g, p, rand.New(rand.NewSource(seed)))
+		l2, err2 := Synthetic(g, p, rand.New(rand.NewSource(seed)))
+		if err1 != nil || err2 != nil || len(l1.Flows) != len(l2.Flows) {
+			return false
+		}
+		for i := range l1.Flows {
+			a, b := l1.Flows[i], l2.Flows[i]
+			if a.ID != b.ID || a.Size != b.Size || a.Src != b.Src || a.Dst != b.Dst || len(a.Routes) != len(b.Routes) {
+				return false
+			}
+			for j := range a.Routes {
+				if !a.Routes[j].Equal(b.Routes[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowWeight(t *testing.T) {
+	f := Flow{Routes: []Route{{0, 1, 2}}}
+	if f.Weight() != Weight(2) {
+		t.Fatal("Flow.Weight wrong")
+	}
+}

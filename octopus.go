@@ -1,0 +1,255 @@
+// Package octopus is a production-oriented implementation of the Octopus
+// family of multi-hop traffic schedulers for general circuit-switched
+// networks, reproducing Gupta, Curran and Zhan, "Near-Optimal Multihop
+// Scheduling in General Circuit-Switched Networks" (CoNEXT 2020).
+//
+// # The problem
+//
+// A circuit-switched fabric (optical or free-space-optical) connects n
+// nodes; at any instant the set of active links must form a matching, and
+// switching to a different matching costs a reconfiguration delay Δ. Given
+// a multi-hop traffic load and a time window W, the multi-hop scheduling
+// (MHS) problem asks for a sequence of configurations (M₁,α₁),(M₂,α₂),…
+// with Σ(αₖ+Δ) ≤ W maximizing the number of packets delivered.
+//
+// # Quick start
+//
+//	g := octopus.Complete(100)                     // a 100-node crossbar fabric
+//	load, _ := octopus.Synthetic(g, octopus.DefaultSyntheticParams(100, 10000), rng)
+//	res, _ := octopus.Schedule(g, load, octopus.Options{Window: 10000, Delta: 20})
+//	meas, _ := octopus.Measure(g, load, res.Schedule, octopus.SimOptions{})
+//	fmt.Printf("delivered %.1f%%\n", 100*meas.DeliveredFraction())
+//
+// Options select the paper's variants: Octopus-B (binary α search),
+// Octopus-G (greedy matching), Octopus-e (ε hop weights), multi-hop
+// chaining, K ports per node, bidirectional fabrics, and Octopus+ joint
+// routing/scheduling. The experiment package regenerates every figure of
+// the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+//
+// This package is a thin façade over the implementation packages under
+// internal/ so downstream users have a single import.
+package octopus
+
+import (
+	"math/rand"
+
+	"octopus/internal/baseline"
+	"octopus/internal/core"
+	"octopus/internal/graph"
+	"octopus/internal/hybrid"
+	"octopus/internal/online"
+	"octopus/internal/schedule"
+	"octopus/internal/simulate"
+	"octopus/internal/traffic"
+)
+
+// Fabric and traffic model types.
+type (
+	// Network is the directed circuit fabric: an edge (i, j) is a potential
+	// link from node i's output port to node j's input port.
+	Network = graph.Digraph
+	// UNetwork is an undirected fabric with bidirectional (full-duplex)
+	// links (paper §7).
+	UNetwork = graph.Ugraph
+	// Link is one directed potential link.
+	Link = graph.Edge
+	// Route is a flow route: the node sequence from source to destination.
+	Route = traffic.Route
+	// Flow is a traffic flow: Size packets from Src to Dst over one or
+	// more candidate Routes.
+	Flow = traffic.Flow
+	// Load is a traffic load: the set of flows to schedule.
+	Load = traffic.Load
+	// SyntheticParams configures the synthetic data-center workload
+	// generator of the paper's §8.
+	SyntheticParams = traffic.SyntheticParams
+	// TraceKind selects a trace-like workload generator (FBHadoop, FBWeb,
+	// FBDatabase, MSHeatmap).
+	TraceKind = traffic.TraceKind
+)
+
+// Scheduling types.
+type (
+	// Options configures the scheduler; see the core package for the
+	// variant knobs.
+	Options = core.Options
+	// Scheduler runs the greedy loop incrementally (Step) or to
+	// completion (Run).
+	Scheduler = core.Scheduler
+	// Result is a completed plan: the schedule plus its bookkeeping.
+	Result = core.Result
+	// Configuration is one (M, α) network configuration.
+	Configuration = schedule.Configuration
+	// ConfigSchedule is a sequence of configurations with a
+	// reconfiguration delay.
+	ConfigSchedule = schedule.Schedule
+	// SimOptions configures the packet-level measurement simulator.
+	SimOptions = simulate.Options
+	// SimResult is the simulator's measurement of a schedule.
+	SimResult = simulate.Result
+	// HybridResult is the outcome of hybrid circuit/packet scheduling.
+	HybridResult = hybrid.Result
+)
+
+// Matcher and α-search selectors (paper variants).
+const (
+	MatcherExact  = core.MatcherExact
+	MatcherGreedy = core.MatcherGreedy
+	AlphaFull     = core.AlphaFull
+	AlphaBinary   = core.AlphaBinary
+)
+
+// Trace kinds for the trace-like generators.
+const (
+	FBHadoop   = traffic.FBHadoop
+	FBWeb      = traffic.FBWeb
+	FBDatabase = traffic.FBDatabase
+	MSHeatmap  = traffic.MSHeatmap
+)
+
+// New returns an empty directed fabric over n nodes.
+func New(n int) *Network { return graph.New(n) }
+
+// Complete returns the complete directed fabric over n nodes (a single
+// n x n crossbar, the implicit topology of prior one-hop work).
+func Complete(n int) *Network { return graph.Complete(n) }
+
+// NewUNetwork returns an empty undirected fabric over n nodes for the
+// bidirectional-link model of §7.
+func NewUNetwork(n int) *UNetwork { return graph.NewU(n) }
+
+// RandomPartial returns a strongly connected partial fabric with
+// approximately deg out-links per node (an FSO-style topology).
+func RandomPartial(n, deg int, rng *rand.Rand) *Network {
+	return graph.RandomPartial(n, deg, rng)
+}
+
+// Torus returns a directed 2D torus fabric over rows*cols nodes.
+func Torus(rows, cols int) *Network { return graph.Torus(rows, cols) }
+
+// ChordRing returns a directed ring over n nodes with skip links of the
+// given strides (a Chord-like low-diameter partial fabric).
+func ChordRing(n int, strides ...int) *Network { return graph.ChordRing(n, strides...) }
+
+// DefaultSyntheticParams returns the paper's §8 workload parameters for an
+// n-node network and the given window.
+func DefaultSyntheticParams(n, window int) SyntheticParams {
+	return traffic.DefaultSyntheticParams(n, window)
+}
+
+// Synthetic generates a synthetic data-center load over fabric g.
+func Synthetic(g *Network, p SyntheticParams, rng *rand.Rand) (*Load, error) {
+	return traffic.Synthetic(g, p, rng)
+}
+
+// TraceLike generates a load mimicking the published characteristics of
+// the Facebook/Microsoft traces used in the paper's evaluation.
+func TraceLike(g *Network, kind TraceKind, window int, rng *rand.Rand) (*Load, error) {
+	return traffic.TraceLike(g, kind, window, traffic.SyntheticParams{}, rng)
+}
+
+// NewScheduler returns an Octopus scheduler for stepwise use.
+func NewScheduler(g *Network, load *Load, opt Options) (*Scheduler, error) {
+	return core.New(g, load, opt)
+}
+
+// Schedule plans a configuration sequence for the MHS instance (g, load):
+// the paper's Octopus algorithm (or a variant selected by opt).
+func Schedule(g *Network, load *Load, opt Options) (*Result, error) {
+	s, err := core.New(g, load, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// ScheduleBidirectional plans over an undirected fabric with bidirectional
+// links (paper §7).
+func ScheduleBidirectional(u *UNetwork, load *Load, opt Options) (*Result, error) {
+	s, err := core.NewBidirectional(u, load, opt)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// Measure replays a schedule in the packet-level simulator and reports
+// delivered packets, packet-hops, ψ, and link utilization.
+func Measure(g *Network, load *Load, sch *ConfigSchedule, opt SimOptions) (*SimResult, error) {
+	return simulate.Run(g, load, sch, opt)
+}
+
+// EclipseBased runs the paper's baseline: the one-hop Eclipse scheduler
+// over the unordered hop decomposition, replayed on the multi-hop load.
+func EclipseBased(g *Network, load *Load, window, delta int) (*SimResult, error) {
+	sim, _, err := baseline.EclipseBased(g, load, window, delta, core.MatcherExact)
+	return sim, err
+}
+
+// UpperBound computes the paper's UB upper bound for an MHS instance.
+func UpperBound(g *Network, load *Load, window, delta int) (*baseline.UBResult, error) {
+	return baseline.UpperBound(g, load, window, delta, core.MatcherExact)
+}
+
+// RotorNet measures the traffic-agnostic RotorNet schedule on the load.
+func RotorNet(g *Network, load *Load, window, delta int) (*SimResult, error) {
+	sim, _, err := baseline.RotorNet(g, load, window, delta, 0)
+	return sim, err
+}
+
+// HybridSchedule first absorbs traffic into a packet-switched network with
+// per-port rate packetRate (packets per slot), then runs Octopus on the
+// remainder (paper §7).
+func HybridSchedule(g *Network, load *Load, opt Options, packetRate float64) (*HybridResult, error) {
+	return hybrid.Schedule(g, load, opt, packetRate)
+}
+
+// Makespan returns the smallest window that fully serves the load, by
+// binary search with Octopus as the feasibility oracle (paper §7).
+func Makespan(g *Network, load *Load, opt Options) (int, *Result, error) {
+	return hybrid.Makespan(g, load, opt)
+}
+
+// WindowResult is the outcome of one window of a rolling run.
+type WindowResult = core.WindowResult
+
+// RunWindows schedules the load across successive windows, carrying
+// undelivered packets (from their current positions) into the next window —
+// the paper's continuous-operation workflow.
+func RunWindows(g *Network, load *Load, opt Options, windows int) ([]WindowResult, error) {
+	return core.RunWindows(g, load, opt, windows)
+}
+
+// TotalDelivered sums the packets delivered across rolling windows.
+func TotalDelivered(ws []WindowResult) int { return core.TotalDelivered(ws) }
+
+// Online-arrival scheduling (the §9 future-work direction; see the online
+// package for details).
+type (
+	// Arrival is a flow plus the slot at which the controller learns of it.
+	Arrival = online.Arrival
+	// OnlineOptions configures an online run (Core.Window is the epoch).
+	OnlineOptions = online.Options
+	// OnlineResult reports per-epoch statistics and per-flow completion.
+	OnlineResult = online.Result
+)
+
+// ScheduleOnline schedules dynamically arriving flows in epochs of one
+// window each, carrying backlog forward between epochs.
+func ScheduleOnline(g *Network, arrivals []Arrival, opt OnlineOptions) (*OnlineResult, error) {
+	return online.Run(g, arrivals, opt)
+}
+
+// Queue-state adaptive scheduling (the related-work baseline [37]).
+type (
+	// AdaptiveOptions configures the MaxWeight adaptive policy.
+	AdaptiveOptions = online.AdaptiveOptions
+	// AdaptiveResult reports a MaxWeight adaptive run.
+	AdaptiveResult = online.AdaptiveResult
+)
+
+// MaxWeightAdaptive runs the queue-state-driven MaxWeight policy with
+// fixed hold durations and optional reconfiguration hysteresis.
+func MaxWeightAdaptive(g *Network, arrivals []Arrival, opt AdaptiveOptions) (*AdaptiveResult, error) {
+	return online.MaxWeightAdaptive(g, arrivals, opt)
+}

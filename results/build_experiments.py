@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""Rebuilds /root/repo/EXPERIMENTS.md from the CSVs in this directory.
+
+Run results/run_campaign.sh first (it writes the CSVs), then this script.
+Commentary strings below record the paper-vs-measured comparison.
+"""
+import csv
+import os
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+OUT = os.path.join(HERE, "..", "EXPERIMENTS.md")
+
+
+def table(name, dec=1):
+    path = os.path.join(HERE, name + ".csv")
+    if not os.path.exists(path):
+        return "*(data not regenerated; run results/run_campaign.sh)*"
+    rows = list(csv.reader(open(path)))
+    out = ["| " + " | ".join(rows[0]) + " |", "|" + "---|" * len(rows[0])]
+    for r in rows[1:]:
+        cells = [r[0]] + [f"{float(x):.{dec}f}" for x in r[1:]]
+        out.append("| " + " | ".join(cells) + " |")
+    return "\n".join(out)
+
+
+DOC = f"""# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the paper's evaluation (§8), regenerated with
+this repository. Absolute numbers are not expected to match the paper
+(different RNG streams and trace-like stand-ins for the proprietary
+traces; see DESIGN.md §5), but the shapes — who wins, by roughly what
+factor, where the crossovers fall — must hold, and they do.
+
+## Methodology
+
+* Parameters follow the paper: `n = 100` nodes, window `W = 10,000`
+  slots, reconfiguration delay `Δ = 20` slots, synthetic loads with 4
+  large + 12 small flows per port carrying 70%/30% of a window's worth of
+  per-port traffic, routes spread evenly over 1–3 hops.
+* **Instances**: 3 seeded instances per point (paper: 10; this repo's
+  campaign ran on a single-core machine — rerun `results/run_campaign.sh`
+  with `-instances 10` for the paper's averaging). Fig 6 uses 2 instances;
+  Fig 10b substitutes n = 200 for the paper's n = 1000 (same reason; the
+  library itself handles n = 1000, see Fig 10a which measures up to 400
+  here and 1000 via `mhsbench -fig 10a -time-nodes 1000`).
+* Every Octopus/baseline number is measured by the packet-level
+  simulator replaying the emitted schedule; UB numbers come from the
+  min-over-hops accounting of §8. `results/run_campaign.sh` regenerates
+  all CSVs; exact seeds make every number reproducible.
+
+## Fig 4 — packets delivered (%)
+
+The paper's headline: Octopus beats the Eclipse-Based scheme by a large
+margin (roughly 2×), tracks the UB upper bound within a couple of points,
+and sits below the ~66% absolute capacity bound.
+**Measured: the same.** Octopus ≈ 2.2× Eclipse-Based throughout, |Octopus −
+UB| ≤ ~1.5 points everywhere, absolute bound ≈ 66.7%.
+
+### 4a — varying number of nodes
+
+{table("fig4a")}
+
+Paper: slowly rising delivered %, flat for the baselines. Measured: rises
+44% → 55% over 25–200 nodes; Eclipse-Based flat near 23%.
+
+### 4b — varying reconfiguration delay
+
+{table("fig4b")}
+
+Paper: Octopus degrades gently with Δ while staying far above
+Eclipse-Based. Measured: 57% → 42% over Δ = 1..200; Eclipse-Based flat
+~23% (its schedules already waste most capacity at any Δ).
+
+### 4c — varying traffic skew (c_S as % of total)
+
+{table("fig4c")}
+
+Paper: performance *improves* slightly as small-flow share rises (sizes
+become more uniform). Measured: 49% → 57%, the same mildly rising trend.
+
+### 4d — varying sparsity (flows per port)
+
+{table("fig4d")}
+
+Paper: mildly improving with more flows per port. Measured: 45% → 56%.
+
+## Fig 5 — link utilization (%)
+
+Paper: Octopus and UB utilize links almost perfectly; Eclipse-Based's
+poor throughput is explained by poor utilization (it picks matchings for
+the unordered hop demand, so many active link-slots carry nothing).
+**Measured: Octopus/UB ≈ 94–100%, Eclipse-Based ≈ 58–66% across all four
+sweeps.**
+
+### 5a — varying number of nodes
+
+{table("fig5a")}
+
+### 5b — varying reconfiguration delay
+
+{table("fig5b")}
+
+### 5c — varying traffic skew
+
+{table("fig5c")}
+
+### 5d — varying sparsity
+
+{table("fig5d")}
+
+## Fig 6 — real-trace-like loads
+
+{table("fig6")}
+
+Rows 1–4 = FB-1 (Hadoop-like), FB-2 (web-like), FB-3 (database-like), MS
+(heatmap-like); these generators stand in for the paper's proprietary
+traces (DESIGN.md §5). Paper: delivered % is much higher than on the
+synthetic load because the traces are lighter (absolute bound near 100%),
+Octopus still ≫ Eclipse-Based and ≈ UB, and on FB-3 Octopus can *beat* UB
+(UB serves later hops of packets whose earlier hops never complete).
+Measured: the same pattern — e.g. the database-like trace is the easiest
+(few huge flows), the web-like trace the hardest (hot destinations
+saturate), and Octopus ≈ UB within ~2 points everywhere.
+
+## Fig 7a — delivered packets as % of ψ
+
+{table("fig7a")}
+
+Paper: 80–90% for Octopus (undelivered in-flight packets are a small
+effect), slightly lower for UB, and a *high* ratio for Eclipse-Based —
+proving its problem is utilization, not stranded packets. Measured:
+Octopus 82–90%, UB consistently below Octopus, Eclipse-Based ~65%
+(lower than the paper's, consistent with our replay-based Eclipse-Based
+stranding more packets mid-route; see ext-eclipsepp).
+
+## Fig 7b — Octopus-e for uniform route lengths
+
+{table("fig7b")}
+
+Paper: Octopus-e ≈ Octopus on mixed loads, but with all flows forced to
+the same route length the ε bonus for later hops wins, with the gap
+growing in hop count — and both can beat UB at 3 hops because UB's
+min-over-hops accounting collapses. **Measured: exactly this.** At 2 hops
+Octopus-e 44.8% vs Octopus 32.5%; at 3 hops 26.0% vs 11.5%, with UB at
+7.7% — the measured UB crossover the paper highlights.
+
+## Fig 8 — Octopus vs RotorNet
+
+{table("fig8")}
+
+Paper: the traffic-agnostic RotorNet schedule performs very poorly on the
+MHS problem, with very low utilization (most active links carry no flow).
+Measured: RotorNet 1.6–11% delivered vs Octopus 42–57%; RotorNet
+utilization 4–24% vs ~94–100%.
+
+## Fig 9a — Octopus-B (ternary search over α)
+
+{table("fig9a")}
+
+Paper: near-identical to Octopus, enabling the |T|·𝒟² → O(log) reduction
+in matchings per iteration. Measured: within 0.15 points at every Δ.
+
+## Fig 9b — Octopus+ vs Octopus-random (10 routes per flow)
+
+{table("fig9b")}
+
+Paper: Octopus+ easily outperforms picking a random route. Measured:
+≈ 2.2–2.5× at every Δ (97% vs 44% at Δ=20).
+
+## Fig 10a — per-iteration execution time (µs)
+
+{table("fig10a", dec=0)}
+
+Paper: with OR-Tools on a 3.2 GHz desktop, exact matchings take a few ms
+and the greedy matcher a fraction of a ms, so Octopus-G is viable at
+n = 1000 with parallel per-α matchings. Measured (single-core, *whole*
+iteration = all α-candidates, not one matching): the greedy matcher is
+2–7× faster per iteration and the gap widens with n — the same
+exact ≫ greedy relationship. Single-matching microbenchmarks
+(`BenchmarkMatchingExact100` ≈ 1 ms vs `BenchmarkMatchingGreedy100`
+≈ 0.1–0.2 ms at n=100) land in the paper's reported regime.
+
+## Fig 10b — Octopus vs Octopus-G at scale (n = 200 here)
+
+{table("fig10b")}
+
+Paper (n = 1000): Octopus-G's delivered % is "very close (95% or above)"
+to Octopus. Measured at n = 200: 93.5–96.1% of Octopus at every Δ.
+
+## Extensions and ablations (beyond the paper's figures)
+
+### ext-solstice — Solstice-style decomposition as a baseline
+
+{table("figext-solstice")}
+
+A greedy BvN (Solstice-like) decomposition of the unordered one-hop load
+performs almost identically to Eclipse-Based — both lose to Octopus for
+the same reason (hop-order-blind schedules), supporting the paper's claim
+that the gap is inherent to one-hop decomposition, not to Eclipse
+specifically.
+
+### ext-ports — K ports per node (§7)
+
+{table("figext-ports")}
+
+Doubling ports (union of 2 matchings per configuration) lifts delivery
+from 54% to 85%; 4 ports saturate the load (99.99%).
+
+### ext-makespan — makespan minimization (§7)
+
+{table("figext-makespan", dec=0)}
+
+The minimal full-service window found by binary search is ≈ 3.5× the
+trivial per-port lower bound — the multi-hop traffic must cross 2 hops on
+average and share intermediate links.
+
+### ext-backtrack — Octopus+ backtracking ablation (§6)
+
+{table("figext-backtrack")}
+
+On complete fabrics with 10 route choices, backtracking changes nothing
+measurable: the direct link is almost always among the candidate routes,
+so packets take it up front. Backtracking is what makes Theorem 3's
+guarantee possible in adversarial cases (and the unit tests construct
+cases where it fires); empirically it is neutral on these loads.
+
+### ext-eclipsepp — Eclipse-Based realizations
+
+{table("figext-eclipsepp")}
+
+Two ways to route multi-hop traffic over the Eclipse sequence: our
+default fixed-route VOQ replay vs. the reference Eclipse++ time-expanded
+re-routing (packets may deviate from nominal routes). Eclipse++ recovers
+some packets (it can re-route around hop-order violations) but stays far
+below Octopus: the sequence itself, chosen blind to hop ordering, is the
+bottleneck — precisely the paper's argument.
+
+### ext-buffers — intermediate buffering under Octopus
+
+{table("figext-buffers", dec=0)}
+
+Multi-hop circuit scheduling parks packets at intermediate nodes between
+configurations. Peak per-node buffering grows with route length: ~6,500
+packets at 2 hops and ~7,400 at 3 hops — at the paper's 12.5 KB packets,
+roughly 80–90 MB of switch buffer per node — quantifying the memory cost
+the paper leaves implicit (1-hop traffic needs none by definition).
+
+### ext-adaptive — offline planning vs queue-state MaxWeight
+
+{table("figext-adaptive")}
+
+The related work's adaptive policies [37] schedule from instantaneous
+queue state. On the paper's setting — the load known up front — Octopus's
+traffic-aware window planning wins decisively (54% vs 39–40% at Δ=20):
+the myopic MaxWeight policy cannot amortize Δ against long, planned,
+weight-aware configurations; hysteresis recovers 1–4 points at small Δ by
+switching less.
+
+### ext-epsilon — Octopus-e ε sensitivity (uniform 3-hop routes)
+
+{table("figext-epsilon")}
+
+The ε bonus for later hops (Fig 7b) is not fragile: ε = 1/32 already
+lifts delivery from 10% to 24% on the all-3-hop load, and everything in
+[1/16, 1] sits on a broad 26–27% plateau — no sharp optimum to tune.
+
+## Worked example and theorem checks (tests, not figures)
+
+* The paper's Example 1 (Figure 1) is reproduced exactly: the given
+  suboptimal sequence delivers 100 packets with ψ = 150 and the optimal
+  delivers 200 with ψ = 200 (`simulate.TestPaperExample1*`), the benefit
+  identities B((M₄,50),∅)=0 and B((M₄,50),⟨(M₃,50)⟩)=25 hold
+  (`core.TestBenefitExample`), and Octopus itself finds the optimum
+  (`core.TestPaperExample1Octopus`).
+* Theorem 1's bound ψ(Octopus) ≥ (1−1/e^{{1/𝒟}})·W/(W+Δ)·ψ(OPT) is
+  validated against an exhaustive-search optimum on tiny instances
+  (`core.TestTheorem1BoundOnTinyInstances`), Lemma 2's weak
+  submodularity on random instances (`core.TestLemma2WeakSubmodularity`),
+  and Lemma 3's α-candidate optimality against exhaustive α enumeration
+  (`core.TestAlphaCandidatesCoverExhaustiveSearch`).
+"""
+
+with open(OUT, "w") as f:
+    f.write(DOC)
+print("wrote", OUT)

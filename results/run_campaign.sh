@@ -1,0 +1,39 @@
+#!/bin/sh
+# Regenerates the EXPERIMENTS.md data set. Near-paper scale: n=100,
+# W=10000, Delta=20 (the paper's defaults), 3 seeded instances per point
+# (paper: 10) to fit a single-core machine; Fig 6 uses 2 instances and
+# Fig 10b substitutes n=200 for the paper's n=1000 (see EXPERIMENTS.md).
+set -e
+BIN=${BIN:-/tmp/mhsbench}
+OUT=${OUT:-/root/repo/results}
+run() {
+  label=$1
+  shift
+  echo "=== fig $label ($(date +%H:%M:%S)) ==="
+  "$BIN" -scale full -instances 3 -out "$OUT" "$@"
+}
+run 4b -fig 4b
+run 4c -fig 4c
+run 4d -fig 4d
+run 5b -fig 5b
+run 5c -fig 5c
+run 5d -fig 5d
+run 7a -fig 7a
+run 7b -fig 7b
+run 8  -fig 8
+run 9a -fig 9a
+run 9b -fig 9b
+run 4a -fig 4a -node-sweep 25,50,100,200
+run 5a -fig 5a -node-sweep 25,50,100,200
+run 10a -fig 10a -time-nodes 100,200,400
+run ext-solstice -fig ext-solstice
+run ext-ports -fig ext-ports
+run ext-backtrack -fig ext-backtrack
+run ext-makespan -fig ext-makespan
+run ext-eclipsepp -fig ext-eclipsepp
+run ext-buffers -fig ext-buffers
+run ext-adaptive -fig ext-adaptive
+run ext-epsilon -fig ext-epsilon
+"$BIN" -scale full -instances 2 -out "$OUT" -fig 10b -time-nodes 100,200 -delta-sweep 10,20,50,100
+"$BIN" -scale full -instances 2 -out "$OUT" -fig 6
+echo "=== done ($(date +%H:%M:%S)) ==="
