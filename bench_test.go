@@ -8,7 +8,15 @@ import (
 	"octopus/internal/experiment"
 	"octopus/internal/matching"
 	"octopus/internal/simulate"
+	"octopus/internal/traffic"
 )
+
+// reportPsi publishes the achieved ψ objective next to the timing numbers,
+// in packet-hop units (ψ divided by traffic.WeightScale), so benchmark runs
+// track solution quality as well as speed.
+func reportPsi(b *testing.B, psi int64) {
+	b.ReportMetric(float64(psi)/float64(traffic.WeightScale), "psi/op")
+}
 
 // benchScale is a reduced experiment scale so every figure benchmark
 // completes quickly while exercising the full code path. Run
@@ -138,26 +146,34 @@ func BenchmarkSimulateReplay(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
+	var psi int64
 	for i := 0; i < b.N; i++ {
-		if _, err := simulate.Run(g, load, res.Schedule, simulate.Options{}); err != nil {
+		sres, err := simulate.Run(g, load, res.Schedule, simulate.Options{})
+		if err != nil {
 			b.Fatal(err)
 		}
+		psi = sres.Psi
 	}
+	reportPsi(b, psi)
 }
 
 // BenchmarkOctopusEndToEnd times a complete schedule-and-measure run.
 func BenchmarkOctopusEndToEnd(b *testing.B) {
 	g, load := benchInstance(b, 24, 1000)
 	b.ReportAllocs()
+	var psi int64
 	for i := 0; i < b.N; i++ {
 		res, err := Schedule(g, load, Options{Window: 1000, Delta: 20})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := Measure(g, load, res.Schedule, SimOptions{}); err != nil {
+		m, err := Measure(g, load, res.Schedule, SimOptions{})
+		if err != nil {
 			b.Fatal(err)
 		}
+		psi = m.Psi
 	}
+	reportPsi(b, psi)
 }
 
 // BenchmarkOctopusPlus times the joint routing/scheduling variant.
@@ -171,11 +187,15 @@ func BenchmarkOctopusPlus(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
+	var psi int64
 	for i := 0; i < b.N; i++ {
-		if _, err := Schedule(g, load, Options{Window: 600, Delta: 10, MultiRoute: true}); err != nil {
+		res, err := Schedule(g, load, Options{Window: 600, Delta: 10, MultiRoute: true})
+		if err != nil {
 			b.Fatal(err)
 		}
+		psi = res.Psi
 	}
+	reportPsi(b, psi)
 }
 
 // Ablation benches for the design choices DESIGN.md calls out.
@@ -185,21 +205,29 @@ func BenchmarkOctopusPlus(b *testing.B) {
 func BenchmarkAblationAlphaFull(b *testing.B) {
 	g, load := benchInstance(b, 16, 800)
 	b.ReportAllocs()
+	var psi int64
 	for i := 0; i < b.N; i++ {
-		if _, err := Schedule(g, load, Options{Window: 800, Delta: 10}); err != nil {
+		res, err := Schedule(g, load, Options{Window: 800, Delta: 10})
+		if err != nil {
 			b.Fatal(err)
 		}
+		psi = res.Psi
 	}
+	reportPsi(b, psi)
 }
 
 func BenchmarkAblationAlphaBinary(b *testing.B) {
 	g, load := benchInstance(b, 16, 800)
 	b.ReportAllocs()
+	var psi int64
 	for i := 0; i < b.N; i++ {
-		if _, err := Schedule(g, load, Options{Window: 800, Delta: 10, AlphaSearch: AlphaBinary}); err != nil {
+		res, err := Schedule(g, load, Options{Window: 800, Delta: 10, AlphaSearch: AlphaBinary})
+		if err != nil {
 			b.Fatal(err)
 		}
+		psi = res.Psi
 	}
+	reportPsi(b, psi)
 }
 
 // BenchmarkAblationChained times the Theorem 2 chained-benefit greedy
@@ -207,9 +235,13 @@ func BenchmarkAblationAlphaBinary(b *testing.B) {
 func BenchmarkAblationChained(b *testing.B) {
 	g, load := benchInstance(b, 12, 400)
 	b.ReportAllocs()
+	var psi int64
 	for i := 0; i < b.N; i++ {
-		if _, err := Schedule(g, load, Options{Window: 400, Delta: 10, MultiHop: true}); err != nil {
+		res, err := Schedule(g, load, Options{Window: 400, Delta: 10, MultiHop: true})
+		if err != nil {
 			b.Fatal(err)
 		}
+		psi = res.Psi
 	}
+	reportPsi(b, psi)
 }

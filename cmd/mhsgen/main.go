@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sort"
@@ -18,6 +19,59 @@ import (
 	"octopus/internal/graph"
 	"octopus/internal/traffic"
 )
+
+// genConfig collects the generation flags; buildLoad turns it into a load.
+type genConfig struct {
+	n         int
+	window    int
+	seed      int64
+	trace     string
+	routes    int
+	fixedHops int
+	skew      int
+	flows     int
+	matrix    io.Reader // non-nil: build from a CSV demand matrix
+}
+
+// buildLoad generates the traffic load described by cfg and returns it with
+// the complete fabric it was generated over.
+func buildLoad(cfg genConfig) (*graph.Digraph, *traffic.Load, error) {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	if cfg.matrix != nil {
+		m, err := traffic.ReadDemandCSV(cfg.matrix)
+		if err != nil {
+			return nil, nil, err
+		}
+		g := graph.Complete(len(m))
+		load, err := traffic.FromDemandMatrix(g, m, cfg.window, traffic.SyntheticParams{RouteChoices: cfg.routes, FixedHops: cfg.fixedHops}, rng)
+		return g, load, err
+	}
+	g := graph.Complete(cfg.n)
+	if cfg.trace != "" {
+		kinds := map[string]traffic.TraceKind{
+			"fb-hadoop": traffic.FBHadoop,
+			"fb-web":    traffic.FBWeb,
+			"fb-db":     traffic.FBDatabase,
+			"ms":        traffic.MSHeatmap,
+		}
+		kind, ok := kinds[cfg.trace]
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown trace %q", cfg.trace)
+		}
+		load, err := traffic.TraceLike(g, kind, cfg.window, traffic.SyntheticParams{RouteChoices: cfg.routes, FixedHops: cfg.fixedHops, MinHops: 1, MaxHops: 3}, rng)
+		return g, load, err
+	}
+	p := traffic.DefaultSyntheticParams(cfg.n, cfg.window)
+	p.RouteChoices = cfg.routes
+	p.FixedHops = cfg.fixedHops
+	p.NL = max(1, cfg.flows/4)
+	p.NS = max(1, cfg.flows-cfg.flows/4)
+	total := p.CL + p.CS
+	p.CS = total * cfg.skew / 100
+	p.CL = total - p.CS
+	load, err := traffic.Synthetic(g, p, rng)
+	return g, load, err
+}
 
 func main() {
 	var (
@@ -40,51 +94,19 @@ func main() {
 		return
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
-	var load *traffic.Load
-	var err error
+	cfg := genConfig{
+		n: *n, window: *window, seed: *seed, trace: *trace,
+		routes: *routes, fixedHops: *fixedHops, skew: *skew, flows: *flows,
+	}
 	if *matrix != "" {
-		f, ferr := os.Open(*matrix)
-		if ferr != nil {
-			fatalf("%v", ferr)
-		}
-		m, merr := traffic.ReadDemandCSV(f)
-		f.Close()
-		if merr != nil {
-			fatalf("%v", merr)
-		}
-		g := graph.Complete(len(m))
-		load, err = traffic.FromDemandMatrix(g, m, *window, traffic.SyntheticParams{RouteChoices: *routes, FixedHops: *fixedHops}, rng)
+		f, err := os.Open(*matrix)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		emit(load, *out)
-		return
+		defer f.Close()
+		cfg.matrix = f
 	}
-	g := graph.Complete(*n)
-	if *trace != "" {
-		kinds := map[string]traffic.TraceKind{
-			"fb-hadoop": traffic.FBHadoop,
-			"fb-web":    traffic.FBWeb,
-			"fb-db":     traffic.FBDatabase,
-			"ms":        traffic.MSHeatmap,
-		}
-		kind, ok := kinds[*trace]
-		if !ok {
-			fatalf("unknown trace %q", *trace)
-		}
-		load, err = traffic.TraceLike(g, kind, *window, traffic.SyntheticParams{RouteChoices: *routes, FixedHops: *fixedHops, MinHops: 1, MaxHops: 3}, rng)
-	} else {
-		p := traffic.DefaultSyntheticParams(*n, *window)
-		p.RouteChoices = *routes
-		p.FixedHops = *fixedHops
-		p.NL = max(1, *flows/4)
-		p.NS = max(1, *flows-*flows/4)
-		total := p.CL + p.CS
-		p.CS = total * *skew / 100
-		p.CL = total - p.CS
-		load, err = traffic.Synthetic(g, p, rng)
-	}
+	_, load, err := buildLoad(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}

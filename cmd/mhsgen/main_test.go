@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"octopus/internal/schedule"
+	"octopus/internal/traffic"
+	"octopus/internal/verify"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current generator output")
+
+// goldenConfig is the pinned generation setup for the golden-file test.
+func goldenConfig() genConfig {
+	return genConfig{n: 8, window: 300, seed: 7, routes: 2, skew: 30, flows: 16}
+}
+
+// TestGoldenSyntheticLoad pins the generator output: the generated load
+// must match the checked-in golden JSON byte for byte, survive a
+// ReadJSON round-trip, and be route-feasible on its topology.
+func TestGoldenSyntheticLoad(t *testing.T) {
+	g, load, err := buildLoad(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := load.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "golden_synthetic.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test ./cmd/mhsgen -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Fatalf("generated load drifted from %s (%d vs %d bytes); regenerate deliberately if the change is intended",
+			goldenPath, buf.Len(), len(golden))
+	}
+
+	// Round-trip: parse the emitted JSON back and compare.
+	back, err := traffic.ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Flows) != len(load.Flows) || back.TotalPackets() != load.TotalPackets() {
+		t.Fatalf("round trip lost flows: %d/%d vs %d/%d",
+			len(back.Flows), back.TotalPackets(), len(load.Flows), load.TotalPackets())
+	}
+	var buf2 bytes.Buffer
+	if err := back.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("JSON round trip is not byte-stable")
+	}
+
+	// Route feasibility on the generation topology, checked by both the
+	// load's own validator and the independent one in internal/verify.
+	if err := back.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.Schedule(g, back, &schedule.Schedule{}, verify.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildLoadVariants exercises the non-default generator paths.
+func TestBuildLoadVariants(t *testing.T) {
+	trace := goldenConfig()
+	trace.trace = "fb-db"
+	g, load, err := buildLoad(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(load.Flows) == 0 {
+		t.Fatal("trace-like generator produced no flows")
+	}
+	if err := load.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := goldenConfig()
+	bad.trace = "no-such-trace"
+	if _, _, err := buildLoad(bad); err == nil {
+		t.Fatal("unknown trace accepted")
+	}
+
+	matrix := goldenConfig()
+	matrix.matrix = strings.NewReader("0,40,10\n5,0,20\n15,25,0\n")
+	g, load, err = buildLoad(matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 {
+		t.Fatalf("matrix fabric has %d nodes, want 3", g.N())
+	}
+	if err := load.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation is deterministic in the seed.
+	_, a, err := buildLoad(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := buildLoad(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ab, bb bytes.Buffer
+	if err := a.WriteJSON(&ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		t.Fatal("same seed produced different loads")
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"testing"
 
 	"octopus/internal/graph"
+	"octopus/internal/schedule"
 	"octopus/internal/simulate"
 	"octopus/internal/traffic"
+	"octopus/internal/verify"
 )
 
 // example1 is the paper's Figure 1 instance (see simulate tests).
@@ -281,6 +283,7 @@ func TestStepIncremental(t *testing.T) {
 		t.Fatal(err)
 	}
 	used := 0
+	stepped := &schedule.Schedule{Delta: 5}
 	for {
 		cfg, ok, err := s.Step()
 		if err != nil {
@@ -292,9 +295,7 @@ func TestStepIncremental(t *testing.T) {
 		if cfg.Alpha <= 0 || len(cfg.Links) == 0 {
 			t.Fatalf("degenerate configuration %v", cfg)
 		}
-		if !g.IsMatching(cfg.Links) {
-			t.Fatalf("configuration is not a matching: %v", cfg.Links)
-		}
+		stepped.Configs = append(stepped.Configs, cfg)
 		used += cfg.Alpha + 5
 		if used != s.Used() {
 			t.Fatalf("Used() = %d, want %d", s.Used(), used)
@@ -302,6 +303,11 @@ func TestStepIncremental(t *testing.T) {
 	}
 	if !s.Done() {
 		t.Fatal("not done after Step returned false")
+	}
+	// The stepwise-built schedule must pass the independent validator
+	// (matchings, window budget, capacity, hop causality).
+	if _, err := verify.Schedule(g, load, stepped, verify.Options{Window: 200}); err != nil {
+		t.Fatal(err)
 	}
 	// Further steps remain terminal.
 	if _, ok, _ := s.Step(); ok {
@@ -362,13 +368,15 @@ func TestMultiPortDoublesService(t *testing.T) {
 	if one.Delivered >= two.Delivered {
 		t.Fatalf("one port (%d) not worse than two ports (%d)", one.Delivered, two.Delivered)
 	}
-	// Replay agreement under the multi-port simulator.
-	sim, err := simulate.Run(g, load, two.Schedule, simulate.Options{Ports: 2})
+	// The validator accepts the 2-port configurations and confirms the
+	// plan's claims against its independent replay.
+	_, err := verify.Schedule(g, load, two.Schedule, verify.Options{
+		Window: 60,
+		Ports:  2,
+		Claim:  &verify.Claim{Delivered: two.Delivered, Hops: two.Hops, Psi: two.Psi},
+	})
 	if err != nil {
 		t.Fatal(err)
-	}
-	if sim.Delivered != two.Delivered {
-		t.Fatalf("multi-port plan/replay mismatch: %d vs %d", two.Delivered, sim.Delivered)
 	}
 }
 
@@ -393,32 +401,16 @@ func TestBidirectional(t *testing.T) {
 	if res.Delivered != 60 {
 		t.Fatalf("bidirectional delivered %d, want 60", res.Delivered)
 	}
-	// Every configuration must be a matching of the undirected graph with
-	// both directions present.
-	for _, cfg := range res.Schedule.Configs {
-		seen := map[graph.UEdge]int{}
-		for _, e := range cfg.Links {
-			seen[graph.NormUEdge(e.From, e.To)]++
-		}
-		var ue []graph.UEdge
-		for k, v := range seen {
-			if v != 2 {
-				t.Fatalf("undirected link %v has %d directions active", k, v)
-			}
-			ue = append(ue, k)
-		}
-		if !u.IsMatching(ue) {
-			t.Fatalf("configuration not an undirected matching: %v", cfg.Links)
-		}
-	}
-	// Replay on the directed view agrees.
-	sim, err := simulate.Run(u.Directed(), load, res.Schedule, simulate.Options{})
+	// The validator checks every configuration is a direction-paired
+	// matching of the undirected fabric, and that the plan's claimed
+	// metrics equal an independent replay on the directed view.
+	_, err = verify.Schedule(u.Directed(), load, res.Schedule, verify.Options{
+		Window:     1000,
+		Undirected: u,
+		Claim:      &verify.Claim{Delivered: res.Delivered, Hops: res.Hops, Psi: res.Psi},
+	})
 	if err != nil {
 		t.Fatal(err)
-	}
-	if sim.Delivered != res.Delivered || sim.Psi != res.Psi {
-		t.Fatalf("bidirectional plan/replay mismatch: %d/%d vs %d/%d",
-			res.Delivered, res.Psi, sim.Delivered, sim.Psi)
 	}
 }
 

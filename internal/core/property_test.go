@@ -8,6 +8,7 @@ import (
 	"octopus/internal/graph"
 	"octopus/internal/simulate"
 	"octopus/internal/traffic"
+	"octopus/internal/verify"
 )
 
 // randomSmallLoad builds a small random multi-route load over Complete(n).
@@ -128,6 +129,53 @@ func TestAgreementProperty(t *testing.T) {
 		return sim.Delivered == res.Delivered && sim.Psi == res.Psi && sim.Hops == res.Hops
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: over the shared verify.RandomInstance distribution, every
+// variant's schedule passes the independent validator — with the plan's
+// claimed metrics checked exactly for the single-route-planning variants.
+func TestValidatedClaimsProperty(t *testing.T) {
+	f := func(seed int64, variant uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := verify.RandomInstance(rng)
+		if len(inst.Load.Flows) == 0 {
+			return true
+		}
+		opt := Options{Window: inst.Window, Delta: inst.Delta}
+		switch variant % 5 {
+		case 1:
+			opt.Matcher = MatcherGreedy
+		case 2:
+			opt.AlphaSearch = AlphaBinary
+		case 3:
+			opt.Epsilon64 = int(variant % 16)
+		case 4:
+			opt.MultiHop = true
+		}
+		s, err := New(inst.G, inst.Load, opt)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		_, err = verify.Schedule(inst.G, inst.Load, res.Schedule, verify.Options{
+			Window:    inst.Window,
+			Epsilon64: opt.Epsilon64,
+			Claim:     &verify.Claim{Delivered: res.Delivered, Hops: res.Hops, Psi: res.Psi},
+		})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -26,6 +26,10 @@ type Result struct {
 	// Circuit is the Octopus result over the residual load (nil when the
 	// packet network absorbed everything).
 	Circuit *core.Result
+	// Residual is the load handed to the circuit scheduler after the packet
+	// network absorbed its share (nil when nothing remained); Circuit's
+	// schedule is validated against it.
+	Residual *traffic.Load
 	// TotalPackets is the size of the offered load.
 	TotalPackets int
 }
@@ -110,6 +114,7 @@ func Schedule(g *graph.Digraph, load *traffic.Load, opt core.Options, packetRate
 		return nil, err
 	}
 	res.Circuit = cres
+	res.Residual = residual
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"octopus/internal/core"
 	"octopus/internal/graph"
 	"octopus/internal/traffic"
+	"octopus/internal/verify"
 )
 
 func synthetic(t *testing.T, seed int64, n, window int) (*graph.Digraph, *traffic.Load) {
@@ -154,5 +155,70 @@ func TestMakespanEmptyLoad(t *testing.T) {
 	g := graph.Complete(2)
 	if _, _, err := Makespan(g, &traffic.Load{}, core.Options{Delta: 1}); err == nil {
 		t.Fatal("empty load accepted")
+	}
+}
+
+// TestCircuitScheduleValidates audits the circuit-side schedule with the
+// independent validator: it must be feasible for the residual load, with
+// the plan's claimed metrics matching the replay.
+func TestCircuitScheduleValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		inst := verify.RandomInstance(rng)
+		if len(inst.Load.Flows) == 0 {
+			continue
+		}
+		inst = inst.SingleRoute()
+		res, err := Schedule(inst.G, inst.Load.Clone(), core.Options{Window: inst.Window, Delta: inst.Delta}, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Circuit == nil {
+			continue // packet network absorbed everything
+		}
+		if res.Residual == nil {
+			t.Fatal("circuit result without residual load")
+		}
+		_, err = verify.Schedule(inst.G, res.Residual, res.Circuit.Schedule, verify.Options{
+			Window: inst.Window,
+			Claim: &verify.Claim{
+				Delivered: res.Circuit.Delivered,
+				Hops:      res.Circuit.Hops,
+				Psi:       res.Circuit.Psi,
+			},
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestMakespanScheduleValidates checks the minimal-window result against
+// the validator: full delivery within exactly the returned window.
+func TestMakespanScheduleValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 10; trial++ {
+		inst := verify.RandomTinyInstance(rng)
+		if len(inst.Load.Flows) == 0 {
+			continue
+		}
+		w, res, err := Makespan(inst.G, inst.Load, core.Options{Delta: inst.Delta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Pending != 0 {
+			t.Fatalf("trial %d: makespan result leaves %d pending", trial, res.Pending)
+		}
+		rep, err := verify.Schedule(inst.G, inst.Load, res.Schedule, verify.Options{
+			Window: w,
+			Claim:  &verify.Claim{Delivered: res.Delivered, Hops: res.Hops, Psi: res.Psi},
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if rep.Delivered != inst.Load.TotalPackets() {
+			t.Fatalf("trial %d: delivered %d of %d within makespan window %d",
+				trial, rep.Delivered, inst.Load.TotalPackets(), w)
+		}
 	}
 }

@@ -30,6 +30,11 @@ type Options struct {
 	// MaxEpochs caps the run (0 = run until every admitted flow is
 	// delivered, with a safety cap relative to the offered load).
 	MaxEpochs int
+	// KeepPlans retains each epoch's scheduled load and plan result on its
+	// EpochStat, so callers (and the verification tests) can audit every
+	// per-epoch schedule independently. Costs memory proportional to the
+	// run; off by default.
+	KeepPlans bool
 }
 
 // EpochStat summarizes one scheduling epoch.
@@ -39,6 +44,11 @@ type EpochStat struct {
 	Offered   int // packets scheduled this epoch (arrivals + backlog)
 	Delivered int
 	Backlog   int // packets carried into the next epoch
+
+	// Plan and Load are the epoch's scheduler result and the exact load it
+	// scheduled (nil unless Options.KeepPlans).
+	Plan *core.Result
+	Load *traffic.Load
 }
 
 // Result reports an online run.
@@ -168,13 +178,18 @@ func Run(g *graph.Digraph, arrivals []Arrival, opt Options) (*Result, error) {
 			}
 		}
 		res.Delivered += sres.Delivered
-		res.Epochs = append(res.Epochs, EpochStat{
+		stat := EpochStat{
 			Epoch:     epoch,
 			Arrived:   arrivedPkts,
 			Offered:   sres.TotalPackets,
 			Delivered: sres.Delivered,
 			Backlog:   sres.Pending,
-		})
+		}
+		if opt.KeepPlans {
+			stat.Plan = sres
+			stat.Load = backlog.Clone()
+		}
+		res.Epochs = append(res.Epochs, stat)
 		backlog = residual
 		origin = newOrigin
 		nextID = maxNew + 1

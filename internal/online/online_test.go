@@ -7,6 +7,7 @@ import (
 	"octopus/internal/core"
 	"octopus/internal/graph"
 	"octopus/internal/traffic"
+	"octopus/internal/verify"
 )
 
 func TestSingleFlowCompletesFirstEpoch(t *testing.T) {
@@ -132,5 +133,58 @@ func TestOnlineEmptyArrivals(t *testing.T) {
 	}
 	if res.MeanCompletionEpochs(nil, 10) != 0 {
 		t.Fatal("mean completion of nothing nonzero")
+	}
+}
+
+// TestEpochPlansValidate audits every epoch's schedule with the independent
+// validator: each epoch's plan must be feasible for the exact load it
+// scheduled, with the plan's claimed metrics matching the replay.
+func TestEpochPlansValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		inst := verify.RandomInstance(rng)
+		if len(inst.Load.Flows) == 0 {
+			continue
+		}
+		var arr []Arrival
+		for i, f := range inst.Load.Flows {
+			f.Routes = f.Routes[:1]
+			arr = append(arr, Arrival{Flow: f, At: i * inst.Window / 2})
+		}
+		res, err := Run(inst.G, arr, Options{
+			Core:      core.Options{Window: inst.Window, Delta: inst.Delta},
+			KeepPlans: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered != res.Total {
+			t.Fatalf("trial %d: online run left %d of %d packets undelivered",
+				trial, res.Total-res.Delivered, res.Total)
+		}
+		audited := 0
+		for _, ep := range res.Epochs {
+			if ep.Plan == nil {
+				if ep.Offered != 0 {
+					t.Fatalf("trial %d epoch %d: offered %d packets but kept no plan", trial, ep.Epoch, ep.Offered)
+				}
+				continue
+			}
+			audited++
+			_, err := verify.Schedule(inst.G, ep.Load, ep.Plan.Schedule, verify.Options{
+				Window: inst.Window,
+				Claim: &verify.Claim{
+					Delivered: ep.Plan.Delivered,
+					Hops:      ep.Plan.Hops,
+					Psi:       ep.Plan.Psi,
+				},
+			})
+			if err != nil {
+				t.Fatalf("trial %d epoch %d: %v", trial, ep.Epoch, err)
+			}
+		}
+		if audited == 0 {
+			t.Fatalf("trial %d: no epochs audited", trial)
+		}
 	}
 }

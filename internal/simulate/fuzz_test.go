@@ -1,0 +1,120 @@
+package simulate
+
+import (
+	"testing"
+
+	"octopus/internal/graph"
+	"octopus/internal/schedule"
+	"octopus/internal/traffic"
+	"octopus/internal/verify"
+)
+
+// fuzzSrc turns a fuzz byte string into a deterministic decision stream;
+// exhausted input yields zeros, so every byte string maps to one scenario.
+type fuzzSrc struct {
+	data []byte
+	i    int
+}
+
+func (s *fuzzSrc) next(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if s.i >= len(s.data) {
+		return 0
+	}
+	b := s.data[s.i]
+	s.i++
+	return int(b) % n
+}
+
+// scenarioFromBytes builds a valid-by-construction fabric, load, and
+// schedule from fuzz input.
+func scenarioFromBytes(data []byte) (*graph.Digraph, *traffic.Load, *schedule.Schedule, Options) {
+	src := &fuzzSrc{data: data}
+	n := 3 + src.next(5)
+	g := graph.Complete(n)
+
+	load := &traffic.Load{}
+	nflows := 1 + src.next(5)
+	for f := 0; f < nflows; f++ {
+		from := src.next(n)
+		dst := (from + 1 + src.next(n-1)) % n
+		route := traffic.Route{from, dst}
+		if src.next(2) == 1 { // two hops via a distinct middle node
+			for mid := 0; mid < n; mid++ {
+				if mid != from && mid != dst {
+					route = traffic.Route{from, (mid + src.next(n-2)) % n, dst}
+					break
+				}
+			}
+			for route[1] == from || route[1] == dst {
+				route[1] = (route[1] + 1) % n
+			}
+		}
+		load.Flows = append(load.Flows, traffic.Flow{
+			ID: f + 1, Size: 1 + src.next(15), Src: from, Dst: dst,
+			Routes: []traffic.Route{route},
+		})
+	}
+
+	sch := &schedule.Schedule{Delta: src.next(4)}
+	nconfigs := src.next(6)
+	for c := 0; c < nconfigs; c++ {
+		var links []graph.Edge
+		usedF := map[int]bool{}
+		usedT := map[int]bool{}
+		for tries := 0; tries < n; tries++ {
+			i, j := src.next(n), src.next(n)
+			if i != j && !usedF[i] && !usedT[j] {
+				links = append(links, graph.Edge{From: i, To: j})
+				usedF[i] = true
+				usedT[j] = true
+			}
+		}
+		if len(links) == 0 {
+			continue
+		}
+		sch.Configs = append(sch.Configs, schedule.Configuration{Links: links, Alpha: 1 + src.next(12)})
+	}
+
+	opt := Options{
+		MultiHop:  src.next(2) == 1,
+		Epsilon64: src.next(16),
+	}
+	if src.next(2) == 1 {
+		opt.Window = 5 + src.next(60)
+		sch.Truncate(opt.Window)
+	}
+	return g, load, sch, opt
+}
+
+// FuzzSimulate drives the simulator with arbitrary valid scenarios and
+// differentially checks every run against the independent validator replay
+// in internal/verify: no panics, conserved packets, exact metric agreement.
+func FuzzSimulate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte("multihop-window-epsilon"))
+	f.Add([]byte{255, 0, 255, 0, 255, 0, 255, 0, 255, 0, 255, 0, 255, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, load, sch, opt := scenarioFromBytes(data)
+		res, err := Run(g, load, sch, opt)
+		if err != nil {
+			t.Fatalf("valid-by-construction scenario rejected: %v", err)
+		}
+		total := load.TotalPackets()
+		if res.Delivered < 0 || res.Delivered > total || res.Hops < res.Delivered {
+			t.Fatalf("implausible result %+v for %d packets", res, total)
+		}
+		_, err = verify.Schedule(g, load, sch, verify.Options{
+			Window:    opt.Window,
+			MultiHop:  opt.MultiHop,
+			Epsilon64: opt.Epsilon64,
+			Claim:     &verify.Claim{Delivered: res.Delivered, Hops: res.Hops, Psi: res.Psi},
+		})
+		if err != nil {
+			t.Fatalf("simulator disagrees with validator replay: %v", err)
+		}
+	})
+}

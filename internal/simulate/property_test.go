@@ -8,6 +8,7 @@ import (
 	"octopus/internal/graph"
 	"octopus/internal/schedule"
 	"octopus/internal/traffic"
+	"octopus/internal/verify"
 )
 
 // randomScenario builds a random small fabric, load, and schedule.
@@ -132,6 +133,37 @@ func TestWindowMonotoneProperty(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the independent validator replay in internal/verify agrees with
+// the simulator on every metric, in every mode combination — two separate
+// implementations of the replay semantics differentially tested.
+func TestValidatorAgreesWithSimulatorProperty(t *testing.T) {
+	f := func(seed int64, multihop bool, eps uint8) bool {
+		g, load, sch := randomScenario(seed)
+		if len(load.Flows) == 0 {
+			return true
+		}
+		opts := Options{MultiHop: multihop, Epsilon64: int(eps % 32)}
+		sim, err := Run(g, load, sch, opts)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		_, err = verify.Schedule(g, load, sch, verify.Options{
+			MultiHop:  opts.MultiHop,
+			Epsilon64: opts.Epsilon64,
+			Claim:     &verify.Claim{Delivered: sim.Delivered, Hops: sim.Hops, Psi: sim.Psi},
+		})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,135 @@
+package verify
+
+import (
+	"math/rand"
+
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+)
+
+// Instance is a randomly generated MHS problem instance, shared by the
+// differential harness and the per-package property tests so every
+// scheduler is exercised on the same distribution of fabrics and loads.
+type Instance struct {
+	G      *graph.Digraph
+	Load   *traffic.Load
+	Window int
+	Delta  int
+}
+
+// RandomInstance generates a small instance suitable for every scheduler
+// in the repository: 4-8 nodes over a complete, chord-ring, or random
+// partial fabric, 1-6 flows of 1-20 packets with 1-3 hop routes (some
+// flows carry a second candidate route for the Octopus+ setting), window
+// 30-130, delta 0-6. Instances are deterministic in rng.
+func RandomInstance(rng *rand.Rand) *Instance {
+	n := 4 + rng.Intn(5)
+	var g *graph.Digraph
+	switch rng.Intn(3) {
+	case 0:
+		g = graph.Complete(n)
+	case 1:
+		g = graph.ChordRing(n, 2)
+	default:
+		g = graph.RandomPartial(n, 2+rng.Intn(3), rng)
+	}
+	load := randomLoad(g, rng, 1+rng.Intn(6), 20, 3, 2)
+	return &Instance{
+		G:      g,
+		Load:   load,
+		Window: 30 + rng.Intn(101),
+		Delta:  rng.Intn(7),
+	}
+}
+
+// RandomTinyInstance generates an instance inside the brute-force
+// envelope: 3-4 nodes, at most 9 packets, window 6-10, delta 0-2.
+func RandomTinyInstance(rng *rand.Rand) *Instance {
+	n := 3 + rng.Intn(2)
+	var g *graph.Digraph
+	if rng.Intn(2) == 0 {
+		g = graph.Complete(n)
+	} else {
+		g = graph.ChordRing(n, 2)
+	}
+	load := &traffic.Load{}
+	packets := 0
+	flows := 1 + rng.Intn(3)
+	for f := 0; f < flows && packets < 9; f++ {
+		fl := randomFlow(g, rng, f+1, 3, 2, 1)
+		if fl == nil {
+			continue
+		}
+		if fl.Size > 9-packets {
+			fl.Size = 9 - packets
+		}
+		packets += fl.Size
+		load.Flows = append(load.Flows, *fl)
+	}
+	return &Instance{
+		G:      g,
+		Load:   load,
+		Window: 6 + rng.Intn(5),
+		Delta:  rng.Intn(3),
+	}
+}
+
+// randomLoad draws up to flows random flows over g.
+func randomLoad(g *graph.Digraph, rng *rand.Rand, flows, maxSize, maxHops, maxRoutes int) *traffic.Load {
+	load := &traffic.Load{}
+	for f := 0; f < flows; f++ {
+		fl := randomFlow(g, rng, f+1, maxSize, maxHops, maxRoutes)
+		if fl == nil {
+			continue
+		}
+		load.Flows = append(load.Flows, *fl)
+	}
+	return load
+}
+
+// randomFlow draws one flow with a random endpoint pair and 1..maxRoutes
+// distinct random routes, or nil when no route was found.
+func randomFlow(g *graph.Digraph, rng *rand.Rand, id, maxSize, maxHops, maxRoutes int) *traffic.Flow {
+	n := g.N()
+	src := rng.Intn(n)
+	dst := (src + 1 + rng.Intn(n-1)) % n
+	var routes []traffic.Route
+	want := 1 + rng.Intn(maxRoutes)
+	for r := 0; r < want; r++ {
+		hops := 1 + rng.Intn(maxHops)
+		route, ok := traffic.RandomRoute(g, src, dst, hops, rng)
+		if !ok {
+			continue
+		}
+		dup := false
+		for _, prev := range routes {
+			if prev.Equal(route) {
+				dup = true
+			}
+		}
+		if !dup {
+			routes = append(routes, route)
+		}
+	}
+	if len(routes) == 0 {
+		return nil
+	}
+	return &traffic.Flow{
+		ID:     id,
+		Size:   1 + rng.Intn(maxSize),
+		Src:    src,
+		Dst:    dst,
+		Routes: routes,
+	}
+}
+
+// SingleRoute returns a copy of the instance whose flows keep only their
+// primary route — the single-route MHS setting required by BruteForce and
+// by exact plan/replay claim checks.
+func (in *Instance) SingleRoute() *Instance {
+	load := in.Load.Clone()
+	for i := range load.Flows {
+		load.Flows[i].Routes = load.Flows[i].Routes[:1]
+	}
+	return &Instance{G: in.G, Load: load, Window: in.Window, Delta: in.Delta}
+}
