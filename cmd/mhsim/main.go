@@ -9,6 +9,7 @@
 //	mhsim -algo octopus-plus -routes 10
 //	mhsim -trace fb-hadoop -algo eclipse-based
 //	mhsim -load load.json -algo octopus-g -v
+//	mhsim -algo octopus -faults trace.json
 package main
 
 import (
@@ -16,9 +17,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"octopus/internal/baseline"
 	"octopus/internal/core"
+	"octopus/internal/fault"
 	"octopus/internal/graph"
 	"octopus/internal/online"
 	"octopus/internal/schedule"
@@ -26,26 +29,49 @@ import (
 	"octopus/internal/traffic"
 )
 
+// knownAlgos lists every -algo value, in the order shown by usage errors.
+var knownAlgos = []string{
+	"octopus", "octopus-g", "octopus-b", "octopus-e", "octopus-plus",
+	"octopus-random", "eclipse-based", "rotornet", "ub", "maxweight",
+}
+
+// faultAlgos are the algorithms the fault-tolerant online pipeline can
+// drive: the Octopus core family (they plan through core.Options).
+var faultAlgos = map[string]bool{
+	"octopus": true, "octopus-g": true, "octopus-b": true,
+	"octopus-e": true, "octopus-plus": true, "octopus-random": true,
+}
+
 func main() {
 	var (
-		n         = flag.Int("n", 24, "number of network nodes")
-		window    = flag.Int("window", 1000, "window W in time slots")
-		delta     = flag.Int("delta", 20, "reconfiguration delay Δ in time slots")
-		algo      = flag.String("algo", "octopus", "algorithm: octopus, octopus-g, octopus-b, octopus-e, octopus-plus, octopus-random, eclipse-based, rotornet, ub, maxweight")
-		seed      = flag.Int64("seed", 1, "RNG seed")
-		trace     = flag.String("trace", "", "trace-like load: fb-hadoop, fb-web, fb-db, ms (default: synthetic)")
-		loadPath  = flag.String("load", "", "read the traffic load from a JSON file instead of generating")
-		routes    = flag.Int("routes", 1, "candidate routes per flow (for octopus-plus / octopus-random)")
-		fixedHops = flag.Int("fixed-hops", 0, "force every route to this many hops")
-		ports     = flag.Int("ports", 1, "input/output ports per node")
-		deg       = flag.Int("deg", 0, "partial fabric with this out-degree per node (0 = complete)")
-		multihop  = flag.Bool("multihop", false, "allow packets to chain hops within a configuration")
-		verbose   = flag.Bool("v", false, "print the configuration sequence")
-		gantt     = flag.Bool("gantt", false, "print the schedule as an ASCII Gantt chart")
-		saveSched = flag.String("save-schedule", "", "write the planned schedule to a JSON file")
-		replay    = flag.String("replay", "", "skip planning: replay a schedule JSON file over the load")
+		n          = flag.Int("n", 24, "number of network nodes")
+		window     = flag.Int("window", 1000, "window W in time slots")
+		delta      = flag.Int("delta", 20, "reconfiguration delay Δ in time slots")
+		algo       = flag.String("algo", "octopus", "algorithm: "+strings.Join(knownAlgos, ", "))
+		seed       = flag.Int64("seed", 1, "RNG seed")
+		trace      = flag.String("trace", "", "trace-like load: fb-hadoop, fb-web, fb-db, ms (default: synthetic)")
+		loadPath   = flag.String("load", "", "read the traffic load from a JSON file instead of generating")
+		routes     = flag.Int("routes", 1, "candidate routes per flow (for octopus-plus / octopus-random)")
+		fixedHops  = flag.Int("fixed-hops", 0, "force every route to this many hops")
+		ports      = flag.Int("ports", 1, "input/output ports per node")
+		deg        = flag.Int("deg", 0, "partial fabric with this out-degree per node (0 = complete)")
+		multihop   = flag.Bool("multihop", false, "allow packets to chain hops within a configuration")
+		verbose    = flag.Bool("v", false, "print the configuration sequence")
+		gantt      = flag.Bool("gantt", false, "print the schedule as an ASCII Gantt chart")
+		saveSched  = flag.String("save-schedule", "", "write the planned schedule to a JSON file")
+		replay     = flag.String("replay", "", "skip planning: replay a schedule JSON file over the load")
+		faultsPath = flag.String("faults", "", "inject a link/node failure trace from a JSON file (see internal/fault)")
 	)
 	flag.Parse()
+
+	// Reject unknown algorithms and unsupported flag combinations before
+	// any generation or planning work.
+	if !isKnownAlgo(*algo) {
+		fatalf("unknown algorithm %q (valid: %s)", *algo, strings.Join(knownAlgos, ", "))
+	}
+	if *faultsPath != "" && *replay == "" && !faultAlgos[*algo] {
+		fatalf("algorithm %q does not support -faults (use one of: octopus, octopus-g, octopus-b, octopus-e, octopus-plus, octopus-random)", *algo)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var g *graph.Digraph
@@ -55,25 +81,47 @@ func main() {
 		g = graph.Complete(*n)
 	}
 
+	faults, err := loadFaults(*faultsPath, g)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	load, err := makeLoad(g, *loadPath, *trace, *n, *window, *routes, *fixedHops, rng)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	fmt.Printf("fabric: %d nodes, %d links; load: %d flows, %d packets, max %d hops\n",
 		g.N(), g.M(), len(load.Flows), load.TotalPackets(), load.MaxHops())
+	if faults != nil {
+		fmt.Printf("faults: %d events, delta jitter on %d reconfigurations\n",
+			len(faults.Events), len(faults.DeltaJitter))
+	}
 
 	if *replay != "" {
-		sch, err := schedule.LoadFile(*replay)
+		sch, err := loadSchedule(*replay, g, *ports)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		sim, err := simulate.Run(g, load, sch, simulate.Options{
-			Window: *window, MultiHop: *multihop, Ports: *ports,
+			Window: *window, MultiHop: *multihop, Ports: *ports, Faults: faults,
 		})
 		if err != nil {
 			fatalf("%v", err)
 		}
 		report(sim, len(sch.Configs))
+		if faults != nil {
+			fmt.Printf("faults: %d active link-slots lost, %d packets stranded in-network\n",
+				sim.FailedLinkSlots, sim.Stranded)
+		}
+		return
+	}
+
+	if faults != nil {
+		opt, err := coreOptions(*algo, load, rng, *window, *delta, *ports, *multihop)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runFaulty(g, load, faults, opt)
 		return
 	}
 
@@ -120,26 +168,10 @@ func main() {
 		return
 	}
 
-	opt := core.Options{Window: *window, Delta: *delta, Ports: *ports, MultiHop: *multihop}
-	switch *algo {
-	case "octopus":
-	case "octopus-g":
-		opt.Matcher = core.MatcherGreedy
-	case "octopus-b":
-		opt.AlphaSearch = core.AlphaBinary
-	case "octopus-e":
-		opt.Epsilon64 = 4
-	case "octopus-plus":
-		opt.MultiRoute = true
-	case "octopus-random":
-		for i := range load.Flows {
-			f := &load.Flows[i]
-			f.Routes = []traffic.Route{f.Routes[rng.Intn(len(f.Routes))]}
-		}
-	default:
-		fatalf("unknown algorithm %q", *algo)
+	opt, err := coreOptions(*algo, load, rng, *window, *delta, *ports, *multihop)
+	if err != nil {
+		fatalf("%v", err)
 	}
-
 	s, err := core.New(g, load, opt)
 	if err != nil {
 		fatalf("%v", err)
@@ -181,14 +213,105 @@ func main() {
 	report(sim, len(res.Schedule.Configs))
 }
 
+func isKnownAlgo(algo string) bool {
+	for _, a := range knownAlgos {
+		if a == algo {
+			return true
+		}
+	}
+	return false
+}
+
+// coreOptions maps an Octopus-family -algo value onto core.Options.
+// octopus-random mutates the load in place to pin one random route per flow.
+func coreOptions(algo string, load *traffic.Load, rng *rand.Rand, window, delta, ports int, multihop bool) (core.Options, error) {
+	opt := core.Options{Window: window, Delta: delta, Ports: ports, MultiHop: multihop}
+	switch algo {
+	case "octopus":
+	case "octopus-g":
+		opt.Matcher = core.MatcherGreedy
+	case "octopus-b":
+		opt.AlphaSearch = core.AlphaBinary
+	case "octopus-e":
+		opt.Epsilon64 = 4
+	case "octopus-plus":
+		opt.MultiRoute = true
+	case "octopus-random":
+		for i := range load.Flows {
+			f := &load.Flows[i]
+			f.Routes = []traffic.Route{f.Routes[rng.Intn(len(f.Routes))]}
+		}
+	default:
+		return core.Options{}, fmt.Errorf("algorithm %q is not an Octopus-core variant", algo)
+	}
+	return opt, nil
+}
+
+// loadFaults reads and validates a failure trace against the fabric; an
+// empty path yields a nil trace (failure-free run).
+func loadFaults(path string, g *graph.Digraph) (*fault.Trace, error) {
+	if path == "" {
+		return nil, nil
+	}
+	tr, err := fault.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault trace %s: %w", path, err)
+	}
+	if err := tr.Validate(g); err != nil {
+		return nil, fmt.Errorf("fault trace %s does not fit the selected fabric: %w", path, err)
+	}
+	return tr, nil
+}
+
+// loadSchedule reads a replay schedule and validates it against the fabric
+// before any simulation work, so hostile or mismatched JSON fails with a
+// clear error rather than a panic deep in the replay.
+func loadSchedule(path string, g *graph.Digraph, ports int) (*schedule.Schedule, error) {
+	sch, err := schedule.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("replay schedule %s: %w", path, err)
+	}
+	if err := sch.Validate(g, 0, ports); err != nil {
+		return nil, fmt.Errorf("replay schedule %s does not fit the selected fabric: %w", path, err)
+	}
+	return sch, nil
+}
+
+// runFaulty drives the fault-tolerant online pipeline and prints the
+// per-epoch degradation report.
+func runFaulty(g *graph.Digraph, load *traffic.Load, faults *fault.Trace, opt core.Options) {
+	var arr []online.Arrival
+	for _, f := range load.Flows {
+		arr = append(arr, online.Arrival{Flow: f, At: 0})
+	}
+	res, err := online.RunFaulty(g, arr, faults, online.FaultOptions{
+		Options: online.Options{Core: opt},
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, ep := range res.Epochs {
+		fmt.Printf("epoch %3d: %d links, %d nodes down | offered %d delivered %d backlog %d | rerouted %d stranded %d dropped %d | reference %d\n",
+			ep.Epoch, ep.FailedLinks, ep.FailedNodes,
+			ep.Offered, ep.Delivered, ep.Backlog,
+			ep.Rerouted, ep.Stranded, ep.Dropped, ep.RefDelivered)
+	}
+	fmt.Printf("degraded: delivered %d/%d (%.2f%%), dropped %d unreachable\n",
+		res.Delivered, res.Total, 100*res.DeliveredFraction(), res.Dropped)
+	if res.Reference != nil {
+		fmt.Printf("reference: delivered %d/%d failure-free; degradation %.2f%%\n",
+			res.Reference.Delivered, res.Reference.Total, 100*res.Degradation())
+	}
+}
+
 func makeLoad(g *graph.Digraph, path, trace string, n, window, routes, fixedHops int, rng *rand.Rand) (*traffic.Load, error) {
 	if path != "" {
 		load, err := traffic.LoadFile(path)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("load %s: %w", path, err)
 		}
 		if err := load.Validate(g); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("load %s does not fit the selected fabric: %w", path, err)
 		}
 		return load, nil
 	}

@@ -2,10 +2,13 @@ package main
 
 import (
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 
+	"octopus/internal/fault"
 	"octopus/internal/graph"
+	"octopus/internal/schedule"
 	"octopus/internal/traffic"
 )
 
@@ -67,5 +70,112 @@ func TestMakeLoadFromFile(t *testing.T) {
 	}
 	if _, err := makeLoad(g, path2, "", 4, 100, 1, 0, nil); err == nil {
 		t.Fatal("out-of-fabric load accepted")
+	}
+}
+
+func TestKnownAlgos(t *testing.T) {
+	for _, a := range knownAlgos {
+		if !isKnownAlgo(a) {
+			t.Errorf("%s not recognized", a)
+		}
+	}
+	for _, a := range []string{"", "Octopus", "octopus ", "bogus"} {
+		if isKnownAlgo(a) {
+			t.Errorf("%q accepted", a)
+		}
+	}
+}
+
+func TestCoreOptionsMapping(t *testing.T) {
+	g := graph.Complete(4)
+	rng := rand.New(rand.NewSource(1))
+	load := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 1, Size: 2, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}, {0, 2, 1}}},
+	}}
+	opt, err := coreOptions("octopus-plus", load, rng, 100, 5, 1, false)
+	if err != nil || !opt.MultiRoute {
+		t.Fatalf("octopus-plus: %+v, %v", opt, err)
+	}
+	opt, err = coreOptions("octopus-e", load, rng, 100, 5, 1, false)
+	if err != nil || opt.Epsilon64 != 4 {
+		t.Fatalf("octopus-e: %+v, %v", opt, err)
+	}
+	if _, err := coreOptions("rotornet", load, rng, 100, 5, 1, false); err == nil {
+		t.Fatal("non-core algorithm accepted")
+	}
+	// octopus-random pins one route per flow.
+	if _, err := coreOptions("octopus-random", load, rng, 100, 5, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if len(load.Flows[0].Routes) != 1 {
+		t.Fatalf("octopus-random left %d routes", len(load.Flows[0].Routes))
+	}
+	if err := load.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadScheduleValidatesAgainstFabric(t *testing.T) {
+	g := graph.Complete(4)
+	dir := t.TempDir()
+	good := &schedule.Schedule{Delta: 2, Configs: []schedule.Configuration{
+		{Links: []graph.Edge{{From: 0, To: 1}}, Alpha: 3},
+	}}
+	path := filepath.Join(dir, "sched.json")
+	if err := good.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSchedule(path, g, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A schedule activating a link outside the fabric is rejected with a
+	// clear error, not a panic later in the replay.
+	if err := os.WriteFile(path, []byte(`{"delta":2,"configs":[{"alpha":3,"from":[0],"to":[9]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSchedule(path, g, 1); err == nil {
+		t.Fatal("out-of-fabric schedule accepted")
+	}
+	// Non-positive alpha is rejected at decode time.
+	if err := os.WriteFile(path, []byte(`{"delta":2,"configs":[{"alpha":0,"from":[0],"to":[1]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSchedule(path, g, 1); err == nil {
+		t.Fatal("zero-alpha schedule accepted")
+	}
+	if _, err := loadSchedule(filepath.Join(dir, "missing.json"), g, 1); err == nil {
+		t.Fatal("missing schedule accepted")
+	}
+}
+
+func TestLoadFaultsValidatesAgainstFabric(t *testing.T) {
+	g := graph.Complete(4)
+	dir := t.TempDir()
+	// Empty path: no trace, no error.
+	if tr, err := loadFaults("", g); tr != nil || err != nil {
+		t.Fatalf("empty path: %v, %v", tr, err)
+	}
+	good := &fault.Trace{Events: []fault.Event{{At: 5, Kind: fault.LinkDown, From: 0, To: 1}}}
+	path := filepath.Join(dir, "trace.json")
+	if err := good.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loadFaults(path, g)
+	if err != nil || len(tr.Events) != 1 {
+		t.Fatalf("good trace: %v, %v", tr, err)
+	}
+	// Out-of-fabric events are rejected.
+	if err := os.WriteFile(path, []byte(`{"events":[{"at":0,"kind":"node-down","node":9}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadFaults(path, g); err == nil {
+		t.Fatal("out-of-fabric trace accepted")
+	}
+	// Malformed JSON is rejected.
+	if err := os.WriteFile(path, []byte(`{"events":[{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadFaults(path, g); err == nil {
+		t.Fatal("malformed trace accepted")
 	}
 }

@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzFaultTrace checks the fault-trace parser never panics on hostile
+// input, and that anything it accepts is structurally sane and round-trips
+// byte-stably through WriteJSON/ReadJSON.
+func FuzzFaultTrace(f *testing.F) {
+	f.Add(`{"events":[{"at":5,"kind":"link-down","from":0,"to":1}]}`)
+	f.Add(`{"events":[{"at":0,"kind":"node-down","node":3},{"at":9,"kind":"node-up","node":3}],"delta_jitter":[0,2,0]}`)
+	f.Add(`{"events":[],"delta_jitter":[]}`)
+	f.Add(`{`)
+	f.Add(`{"events":[{"at":-1,"kind":"link-down","from":0,"to":1}]}`)
+	f.Add(`{"events":[{"at":3,"kind":"meteor-strike","node":2}]}`)
+	f.Add(`{"events":[{"at":3,"kind":"link-up","from":4,"to":4}]}`)
+	f.Add(`{"delta_jitter":[-7]}`)
+	f.Add(`{"events":[{"at":9007199254740993,"kind":"node-up","node":9007199254740993}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// ReadJSON's documented guarantees on anything it accepts.
+		for i, e := range tr.Events {
+			if e.At < 0 {
+				t.Fatalf("accepted event %d at negative slot %d", i, e.At)
+			}
+			if _, ok := kindNames[e.Kind]; !ok {
+				t.Fatalf("accepted event %d with unknown kind %d", i, e.Kind)
+			}
+			if e.IsLink() && (e.From < 0 || e.To < 0 || e.From == e.To) {
+				t.Fatalf("accepted event %d with bad link %d->%d", i, e.From, e.To)
+			}
+			if !e.IsLink() && e.Node < 0 {
+				t.Fatalf("accepted event %d with negative node %d", i, e.Node)
+			}
+		}
+		for k, j := range tr.DeltaJitter {
+			if j < 0 {
+				t.Fatalf("accepted negative jitter %d at reconfiguration %d", j, k)
+			}
+		}
+		// Whatever parses must re-serialize and re-parse identically.
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		first := buf.String()
+		again, err := ReadJSON(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := again.WriteJSON(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if first != buf2.String() {
+			t.Fatal("round trip is not byte-stable")
+		}
+		if len(again.Events) != len(tr.Events) || len(again.DeltaJitter) != len(tr.DeltaJitter) {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}

@@ -120,6 +120,21 @@ func (g *Digraph) Clone() *Digraph {
 	return c
 }
 
+// Subgraph returns the subgraph of g over the same node set containing
+// exactly the edges for which keep returns true. The fault package uses this
+// to snapshot the surviving fabric after link and node failures.
+func (g *Digraph) Subgraph(keep func(Edge) bool) *Digraph {
+	s := New(g.n)
+	for i := 0; i < g.n; i++ {
+		for _, j := range g.out[i] {
+			if keep(Edge{From: i, To: j}) {
+				s.AddEdge(i, j)
+			}
+		}
+	}
+	return s
+}
+
 // IsRoute reports whether route (a sequence of nodes) is a valid path in g:
 // at least two nodes, no repeats, and every consecutive pair is an edge.
 func (g *Digraph) IsRoute(route []int) bool {

@@ -1,0 +1,330 @@
+package online
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"octopus/internal/core"
+	"octopus/internal/fault"
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+	"octopus/internal/verify"
+)
+
+// FaultOptions configures a fault-tolerant online run.
+type FaultOptions struct {
+	Options
+
+	// SkipReference skips the failure-free reference run, leaving
+	// FaultResult.Reference nil and every RefDelivered at -1. The reference
+	// costs a second full online run; skip it when only the degraded
+	// numbers matter.
+	SkipReference bool
+}
+
+// FaultEpochStat extends EpochStat with the epoch's degradation accounting.
+type FaultEpochStat struct {
+	EpochStat
+
+	FailedLinks int // links individually down at the boundary snapshot
+	FailedNodes int // nodes down at the boundary snapshot
+
+	// Rerouted counts packets whose every route was broken by failures and
+	// was repaired onto a shortest surviving path at this boundary.
+	Rerouted int
+	// Stranded counts the rerouted packets that were requeued from
+	// in-flight positions: stuck at an intermediate node whose onward
+	// route died.
+	Stranded int
+	// Dropped counts packets dropped at this boundary because no surviving
+	// route to their destination exists (source or destination unreachable
+	// on the degraded fabric).
+	Dropped int
+
+	// RefDelivered is the failure-free reference run's delivery in this
+	// epoch (-1 when the reference was skipped).
+	RefDelivered int
+
+	// Fabric is the epoch's surviving-fabric snapshot (nil unless
+	// Options.KeepPlans), so each plan can be re-audited independently.
+	Fabric *graph.Digraph
+}
+
+// FaultResult reports a fault-tolerant online run.
+type FaultResult struct {
+	Epochs    []FaultEpochStat
+	Delivered int
+	Dropped   int // packets abandoned as unreachable across the whole run
+	Total     int
+	// Completion maps arrival flow IDs to the 1-based epoch in which the
+	// flow's last packet was delivered (absent for flows that lost packets
+	// to unreachability or never drained).
+	Completion map[int]int
+	// Reference is the failure-free run of the same arrivals under the
+	// same options (nil when FaultOptions.SkipReference).
+	Reference *Result
+}
+
+// DeliveredFraction returns Delivered / Total (0 for an empty run).
+func (r *FaultResult) DeliveredFraction() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Total)
+}
+
+// Degradation returns the shortfall of the degraded run relative to the
+// failure-free reference, as a fraction of the reference's delivery: 0 means
+// no loss, 1 means nothing was delivered. Returns 0 when the reference was
+// skipped or delivered nothing.
+func (r *FaultResult) Degradation() float64 {
+	if r.Reference == nil || r.Reference.Delivered == 0 {
+		return 0
+	}
+	d := float64(r.Reference.Delivered-r.Delivered) / float64(r.Reference.Delivered)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// RunFaulty schedules the arrivals over successive epochs while the fabric
+// degrades and recovers according to trace. At every epoch boundary the
+// controller:
+//
+//  1. snapshots the surviving fabric (links and nodes up at the boundary
+//     slot, per the trace);
+//  2. admits newly arrived flows and merges them with the backlog carried
+//     from previous epochs — in-flight packets continue from their current
+//     positions in the network;
+//  3. repairs traffic broken by failures: a flow all of whose candidate
+//     routes died is rerouted onto a BFS shortest surviving path from its
+//     current position, and flows with no surviving path (source or
+//     destination unreachable) are dropped — the only packets ever given
+//     up on;
+//  4. plans the epoch with the Octopus scheduler on the surviving fabric,
+//     with the trace's delta jitter for the epoch added to Δ; and
+//  5. audits the plan with verify.Schedule against the surviving fabric —
+//     a configuration that would activate a failed link fails the run.
+//
+// The run is deterministic given (arrivals, trace, options). Unless
+// FaultOptions.SkipReference is set, a failure-free reference run of the
+// same arrivals is computed so every epoch's delivery can be compared
+// against the fabric-intact baseline.
+func RunFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt FaultOptions) (*FaultResult, error) {
+	if opt.Core.Window <= 0 {
+		return nil, errors.New("online: Core.Window must be positive")
+	}
+	if err := trace.Validate(g); err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool, len(arrivals))
+	arrivalSrc := make(map[int]int, len(arrivals))
+	total := 0
+	for _, a := range arrivals {
+		if a.At < 0 {
+			return nil, fmt.Errorf("online: flow %d has negative arrival %d", a.Flow.ID, a.At)
+		}
+		if seen[a.Flow.ID] {
+			return nil, fmt.Errorf("online: duplicate arrival flow ID %d", a.Flow.ID)
+		}
+		seen[a.Flow.ID] = true
+		arrivalSrc[a.Flow.ID] = a.Flow.Src
+		total += a.Flow.Size
+	}
+	var ref *Result
+	if !opt.SkipReference {
+		var err error
+		ref, err = Run(g, arrivals, opt.Options)
+		if err != nil {
+			return nil, fmt.Errorf("online: failure-free reference run: %w", err)
+		}
+	}
+
+	queue := append([]Arrival(nil), arrivals...)
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].At < queue[j].At })
+
+	maxEpochs := opt.MaxEpochs
+	if maxEpochs == 0 {
+		maxEpochs = 16
+		for _, a := range queue {
+			maxEpochs += a.Flow.Size * traffic.MaxRouteLen
+		}
+	}
+
+	res := &FaultResult{Total: total, Completion: make(map[int]int), Reference: ref}
+	backlog := &traffic.Load{}
+	origin := make(map[int]int)      // backlog flow ID -> arrival flow ID
+	outstanding := make(map[int]int) // arrival flow ID -> undelivered packets
+	cur := trace.Cursor()
+	nextArrival := 0
+	nextID := 0
+
+	for epoch := 0; epoch < maxEpochs; epoch++ {
+		boundary := epoch * opt.Core.Window
+		cur.AdvanceTo(boundary)
+		arrivedPkts := 0
+		for nextArrival < len(queue) && queue[nextArrival].At <= boundary {
+			a := queue[nextArrival]
+			f := a.Flow
+			origin[nextID] = f.ID
+			outstanding[f.ID] = f.Size
+			f.ID = nextID
+			nextID++
+			backlog.Flows = append(backlog.Flows, f)
+			arrivedPkts += f.Size
+			nextArrival++
+		}
+
+		fabric := cur.SurvivingOf(g)
+		stat := FaultEpochStat{
+			EpochStat:    EpochStat{Epoch: epoch, Arrived: arrivedPkts},
+			FailedLinks:  cur.FailedLinks(),
+			FailedNodes:  cur.FailedNodes(),
+			RefDelivered: refDelivered(ref, epoch),
+		}
+		repairBacklog(fabric, backlog, origin, arrivalSrc, &stat)
+		res.Dropped += stat.Dropped
+
+		if len(backlog.Flows) == 0 {
+			if nextArrival == len(queue) {
+				break // drained (or dropped) and no more arrivals
+			}
+			res.Epochs = append(res.Epochs, stat)
+			continue // idle epoch waiting for arrivals
+		}
+
+		// The trace's jitter stretches this epoch's reconfiguration delay;
+		// a jitter so large that no configuration fits idles the epoch.
+		coreOpt := opt.Core
+		coreOpt.Delta = opt.Core.Delta + trace.Jitter(epoch)
+		if coreOpt.Delta >= coreOpt.Window {
+			stat.Backlog = backlog.TotalPackets()
+			res.Epochs = append(res.Epochs, stat)
+			continue
+		}
+
+		s, err := core.New(fabric, backlog, coreOpt)
+		if err != nil {
+			return nil, err
+		}
+		sres, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		if err := auditEpoch(fabric, backlog, sres, coreOpt, epoch); err != nil {
+			return nil, err
+		}
+		pending := s.PendingByFlow()
+		for i := range backlog.Flows {
+			f := &backlog.Flows[i]
+			delivered := f.Size - pending[f.ID]
+			if delivered == 0 {
+				continue
+			}
+			orig := origin[f.ID]
+			outstanding[orig] -= delivered
+			if outstanding[orig] == 0 {
+				res.Completion[orig] = epoch + 1
+			}
+		}
+		residual, remap := s.ResidualLoadMap()
+		newOrigin := make(map[int]int, len(remap))
+		maxNew := -1
+		for newID, oldID := range remap {
+			newOrigin[newID] = origin[oldID]
+			if newID > maxNew {
+				maxNew = newID
+			}
+		}
+		res.Delivered += sres.Delivered
+		stat.Offered = sres.TotalPackets
+		stat.Delivered = sres.Delivered
+		stat.Backlog = sres.Pending
+		if opt.KeepPlans {
+			stat.Plan = sres
+			stat.Load = backlog.Clone()
+			stat.Fabric = fabric
+		}
+		res.Epochs = append(res.Epochs, stat)
+		backlog = residual
+		origin = newOrigin
+		nextID = maxNew + 1
+	}
+	return res, nil
+}
+
+// repairBacklog rewrites the backlog in place against the surviving fabric:
+// flows keep the candidate routes that survived; flows whose every route
+// died are rerouted onto a BFS shortest surviving path from their current
+// position; flows with no surviving path are dropped. Degradation counts
+// accumulate onto stat.
+func repairBacklog(fabric *graph.Digraph, backlog *traffic.Load, origin, arrivalSrc map[int]int, stat *FaultEpochStat) {
+	kept := backlog.Flows[:0]
+	for i := range backlog.Flows {
+		f := backlog.Flows[i]
+		alive := f.Routes[:0:0]
+		for _, r := range f.Routes {
+			if fabric.IsRoute(r) {
+				alive = append(alive, r)
+			}
+		}
+		switch {
+		case len(alive) == len(f.Routes):
+			// Fully intact: nothing to do.
+		case len(alive) > 0:
+			// Some candidates died; the survivors carry the flow.
+			f.Routes = alive
+		default:
+			r, ok := traffic.ShortestRoute(fabric, f.Src, f.Dst)
+			if !ok {
+				stat.Dropped += f.Size
+				continue
+			}
+			if f.WeightHops > 0 && r.Hops() > f.WeightHops {
+				// Keep the weight override consistent with the longer
+				// repaired route (weights may only get smaller).
+				f.WeightHops = r.Hops()
+			}
+			f.Routes = []traffic.Route{r}
+			stat.Rerouted += f.Size
+			if f.Src != arrivalSrc[origin[f.ID]] {
+				stat.Stranded += f.Size
+			}
+		}
+		kept = append(kept, f)
+	}
+	backlog.Flows = kept
+}
+
+// auditEpoch validates the epoch's plan against the fabric it was planned
+// for, independently of the scheduler's own bookkeeping. For plain plans the
+// replayed delivery must match the plan's claim exactly; Octopus+ and
+// chained-benefit plans keep bookkeeping a forward replay cannot reproduce,
+// so only the feasibility invariants are enforced for them.
+func auditEpoch(fabric *graph.Digraph, load *traffic.Load, plan *core.Result, coreOpt core.Options, epoch int) error {
+	vopt := verify.Options{
+		Window:    coreOpt.Window,
+		Ports:     coreOpt.Ports,
+		MultiHop:  coreOpt.MultiHop,
+		Epsilon64: coreOpt.Epsilon64,
+	}
+	if !coreOpt.MultiRoute && !coreOpt.MultiHop {
+		vopt.Claim = &verify.Claim{Delivered: plan.Delivered, Hops: plan.Hops, Psi: plan.Psi}
+	}
+	if _, err := verify.Schedule(fabric, load, plan.Schedule, vopt); err != nil {
+		return fmt.Errorf("online: epoch %d plan failed verification against the surviving fabric: %w", epoch, err)
+	}
+	return nil
+}
+
+func refDelivered(ref *Result, epoch int) int {
+	if ref == nil {
+		return -1
+	}
+	if epoch < len(ref.Epochs) {
+		return ref.Epochs[epoch].Delivered
+	}
+	return 0
+}

@@ -1,0 +1,176 @@
+package simulate
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"octopus/internal/core"
+	"octopus/internal/fault"
+	"octopus/internal/graph"
+	"octopus/internal/schedule"
+	"octopus/internal/traffic"
+	"octopus/internal/verify"
+)
+
+// TestEmptyTraceEquivalence is the satellite property for the simulator:
+// replaying with a nil fault trace and with an empty fault trace must be
+// bit-for-bit identical, in both bulk and multi-hop modes.
+func TestEmptyTraceEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		inst := verify.RandomInstance(rng).SingleRoute()
+		if len(inst.Load.Flows) == 0 {
+			continue
+		}
+		for _, multihop := range []bool{false, true} {
+			s, err := core.New(inst.G, inst.Load, core.Options{
+				Window: inst.Window, Delta: inst.Delta, MultiHop: multihop,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := Options{Window: inst.Window, MultiHop: multihop}
+			want, err := Run(inst.G, inst.Load, plan.Schedule, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			withEmpty := base
+			withEmpty.Faults = &fault.Trace{}
+			got, err := Run(inst.G, inst.Load, plan.Schedule, withEmpty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("trial %d multihop=%v: empty-trace result diverges:\n%+v\n%+v",
+					trial, multihop, want, got)
+			}
+			if got.FailedLinkSlots != 0 {
+				t.Fatalf("trial %d: failure slots without failures: %d", trial, got.FailedLinkSlots)
+			}
+		}
+	}
+}
+
+// TestFailedLinkStrandsPackets replays a fixed schedule over a trace that
+// kills the second hop: packets must pile up at the intermediate node, never
+// be silently delivered, and every lost slot must be accounted.
+func TestFailedLinkStrandsPackets(t *testing.T) {
+	g := graph.Complete(3)
+	load := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 1, Size: 4, Src: 0, Dst: 2, Routes: []traffic.Route{{0, 1, 2}}},
+	}}
+	sch := &schedule.Schedule{Delta: 2, Configs: []schedule.Configuration{
+		{Links: []graph.Edge{{From: 0, To: 1}}, Alpha: 4},
+		{Links: []graph.Edge{{From: 1, To: 2}}, Alpha: 4},
+	}}
+	// Failure-free: everything delivers.
+	clean, err := Run(g, load, sch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Delivered != 4 || clean.Stranded != 0 {
+		t.Fatalf("clean replay delivered %d stranded %d", clean.Delivered, clean.Stranded)
+	}
+	// Link 1->2 is down for the whole second configuration.
+	tr := &fault.Trace{Events: []fault.Event{{At: 0, Kind: fault.LinkDown, From: 1, To: 2}}}
+	res, err := Run(g, load, sch, Options{Faults: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 0 {
+		t.Fatalf("delivered %d over a dead link", res.Delivered)
+	}
+	if res.Stranded != 4 {
+		t.Fatalf("stranded %d, want 4 at node 1", res.Stranded)
+	}
+	if res.Hops != 4 {
+		t.Fatalf("hops %d, want 4 (first hop only)", res.Hops)
+	}
+	if res.FailedLinkSlots != 4 {
+		t.Fatalf("failed link-slots %d, want 4", res.FailedLinkSlots)
+	}
+}
+
+// TestMidConfigRecovery brings a link back up in the middle of a
+// configuration: only the up-slots carry packets, in both modes.
+func TestMidConfigRecovery(t *testing.T) {
+	g := graph.Complete(2)
+	load := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 1, Size: 10, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+	}}
+	sch := &schedule.Schedule{Delta: 1, Configs: []schedule.Configuration{
+		{Links: []graph.Edge{{From: 0, To: 1}}, Alpha: 10},
+	}}
+	// Config occupies slots [1, 11); the link is down for slots [1, 7).
+	tr := &fault.Trace{Events: []fault.Event{
+		{At: 0, Kind: fault.LinkDown, From: 0, To: 1},
+		{At: 7, Kind: fault.LinkUp, From: 0, To: 1},
+	}}
+	for _, multihop := range []bool{false, true} {
+		res, err := Run(g, load, sch, Options{Faults: tr, MultiHop: multihop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered != 4 {
+			t.Fatalf("multihop=%v: delivered %d, want 4 (slots 7..10)", multihop, res.Delivered)
+		}
+		if res.FailedLinkSlots != 6 {
+			t.Fatalf("multihop=%v: failed link-slots %d, want 6", multihop, res.FailedLinkSlots)
+		}
+	}
+}
+
+// TestNodeDownBlocksAllItsLinks fails a node mid-replay: links into and out
+// of it stop carrying traffic.
+func TestNodeDownBlocksAllItsLinks(t *testing.T) {
+	g := graph.Complete(3)
+	load := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 1, Size: 6, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+	}}
+	sch := &schedule.Schedule{Delta: 0, Configs: []schedule.Configuration{
+		{Links: []graph.Edge{{From: 0, To: 1}}, Alpha: 6},
+	}}
+	tr := &fault.Trace{Events: []fault.Event{{At: 3, Kind: fault.NodeDown, Node: 1}}}
+	res, err := Run(g, load, sch, Options{Faults: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 3 {
+		t.Fatalf("delivered %d, want 3 (node 1 died at slot 3)", res.Delivered)
+	}
+}
+
+// TestDeltaJitterConsumesWindow extends reconfigurations with trace jitter:
+// the stretched delays push later configurations past the window.
+func TestDeltaJitterConsumesWindow(t *testing.T) {
+	g := graph.Complete(2)
+	load := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 1, Size: 10, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+	}}
+	sch := &schedule.Schedule{Delta: 1, Configs: []schedule.Configuration{
+		{Links: []graph.Edge{{From: 0, To: 1}}, Alpha: 5},
+		{Links: []graph.Edge{{From: 0, To: 1}}, Alpha: 5},
+	}}
+	clean, err := Run(g, load, sch, Options{Window: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Delivered != 10 {
+		t.Fatalf("clean delivered %d, want 10", clean.Delivered)
+	}
+	// Jitter of 6 on the second reconfiguration leaves no room for its
+	// configuration inside the window.
+	tr := &fault.Trace{DeltaJitter: []int{0, 6}}
+	res, err := Run(g, load, sch, Options{Window: 12, Faults: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 5 || res.Configs != 1 {
+		t.Fatalf("jittered replay delivered %d over %d configs, want 5 over 1", res.Delivered, res.Configs)
+	}
+}

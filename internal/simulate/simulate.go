@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"octopus/internal/fault"
 	"octopus/internal/graph"
 	"octopus/internal/schedule"
 	"octopus/internal/traffic"
@@ -67,6 +68,15 @@ type Options struct {
 
 	// TrackFlows records per-flow delivery counts in Result.FlowDelivered.
 	TrackFlows bool
+
+	// Faults injects a deterministic failure trace (see internal/fault):
+	// a link that is down — or has a down endpoint — at a slot cannot
+	// carry packets during that slot, so packets wait at their current
+	// node rather than being silently delivered over a dead link, and
+	// every lost slot is accounted in Result.FailedLinkSlots. The trace's
+	// delta jitter extends the reconfiguration delay preceding the k-th
+	// configuration. Nil replays failure-free.
+	Faults *fault.Trace
 }
 
 // Result reports the outcome of a simulation.
@@ -88,6 +98,15 @@ type Result struct {
 	// FlowDelivered maps flow ID to delivered packets (nil unless
 	// Options.TrackFlows).
 	FlowDelivered map[int]int
+
+	// FailedLinkSlots counts scheduled active link-slots lost to failures:
+	// slots during which a configuration had a link active but the link or
+	// one of its endpoints was down (always 0 without Options.Faults).
+	FailedLinkSlots int64
+
+	// Stranded counts undelivered packets that ended the replay at an
+	// intermediate node: past their source, short of their destination.
+	Stranded int
 }
 
 // DeliveredFraction returns Delivered / TotalPackets (0 for empty loads).
@@ -280,13 +299,19 @@ func Run(g *graph.Digraph, load *traffic.Load, sch *schedule.Schedule, opt Optio
 		return nil, err
 	}
 
+	var cur *fault.Cursor
+	if opt.Faults != nil {
+		cur = opt.Faults.Cursor()
+	}
 	slot := 0 // global slot counter
-	for _, cfg := range sch.Configs {
-		// Reconfiguration delay precedes each configuration.
-		if opt.Window > 0 && slot+sch.Delta >= opt.Window {
+	for k, cfg := range sch.Configs {
+		// Reconfiguration delay (plus any trace jitter) precedes each
+		// configuration.
+		delta := sch.Delta + opt.Faults.Jitter(k)
+		if opt.Window > 0 && slot+delta >= opt.Window {
 			break
 		}
-		slot += sch.Delta
+		slot += delta
 		alpha := cfg.Alpha
 		if opt.Window > 0 && slot+alpha > opt.Window {
 			alpha = opt.Window - slot
@@ -298,14 +323,16 @@ func Run(g *graph.Digraph, load *traffic.Load, sch *schedule.Schedule, opt Optio
 		st.res.ActiveLinkSlots += int64(alpha) * int64(len(cfg.Links))
 
 		if opt.MultiHop {
-			st.runMultiHop(cfg.Links, slot, alpha)
-		} else {
+			st.runMultiHop(cfg.Links, slot, alpha, cur)
+		} else if cur == nil {
 			// Bulk mode: packets arriving during this configuration
 			// cannot move again until the next one, so each link simply
 			// serves up to alpha packets available at the start.
 			for _, e := range cfg.Links {
 				st.serve(e, alpha, slot, slot+alpha)
 			}
+		} else {
+			st.runBulkFaulty(cfg.Links, slot, alpha, cur)
 		}
 		slot += alpha
 		if opt.TrackBuffers {
@@ -313,7 +340,54 @@ func Run(g *graph.Digraph, load *traffic.Load, sch *schedule.Schedule, opt Optio
 		}
 	}
 	st.res.SlotsUsed = slot
+	st.countStranded()
 	return &st.res, nil
+}
+
+// runBulkFaulty is bulk mode under a failure trace: a link can carry at most
+// one packet per slot, so its bulk service shrinks to the number of slots in
+// the configuration during which it (and both endpoints) are up. Crossed
+// packets still become available only at the next configuration, exactly as
+// in the failure-free bulk mode.
+func (st *state) runBulkFaulty(links []graph.Edge, start, alpha int, cur *fault.Cursor) {
+	end := start + alpha
+	up := make([]int, len(links))
+	for seg := start; seg < end; {
+		cur.AdvanceTo(seg)
+		segEnd := end
+		if nc := cur.NextChange(); nc < segEnd {
+			segEnd = nc
+		}
+		if cur.AnyDown() {
+			for i, e := range links {
+				if cur.LinkUsable(e) {
+					up[i] += segEnd - seg
+				}
+			}
+		} else {
+			for i := range links {
+				up[i] += segEnd - seg
+			}
+		}
+		seg = segEnd
+	}
+	for i, e := range links {
+		st.res.FailedLinkSlots += int64(alpha - up[i])
+		st.serve(e, up[i], start, start+alpha)
+	}
+}
+
+// countStranded records the packets left at intermediate nodes when the
+// replay ended: undelivered traffic past its source but short of its
+// destination.
+func (st *state) countStranded() {
+	for _, q := range st.queues {
+		for _, gr := range q.groups {
+			if gr.pos > 0 {
+				st.res.Stranded += gr.count
+			}
+		}
+	}
 }
 
 // measureBuffers records the in-network buffer occupancy at a
@@ -342,8 +416,10 @@ func (st *state) measureBuffers() {
 }
 
 // runMultiHop replays one configuration slot by slot, letting packets chain
-// across consecutive active links with a one-slot switching latency.
-func (st *state) runMultiHop(links []graph.Edge, start, alpha int) {
+// across consecutive active links with a one-slot switching latency. With a
+// fault cursor, links that are down at a slot serve nothing that slot and
+// the lost slot is accounted.
+func (st *state) runMultiHop(links []graph.Edge, start, alpha int, cur *fault.Cursor) {
 	es := append([]graph.Edge(nil), links...)
 	sort.Slice(es, func(i, j int) bool {
 		if es[i].From != es[j].From {
@@ -353,15 +429,27 @@ func (st *state) runMultiHop(links []graph.Edge, start, alpha int) {
 	})
 	for s := 0; s < alpha; s++ {
 		now := start + s
+		anyDown := false
+		if cur != nil {
+			cur.AdvanceTo(now)
+			anyDown = cur.AnyDown()
+		}
 		moved := 0
 		for _, e := range es {
+			if anyDown && !cur.LinkUsable(e) {
+				st.res.FailedLinkSlots++
+				continue
+			}
 			moved += st.serve(e, 1, now, now+1)
 		}
 		if moved == 0 {
 			// Nothing can move now; nothing in flight either (any packet
 			// that crossed became available the next slot, but none
-			// crossed). Remaining slots are idle.
-			break
+			// crossed). Unless a failure event ahead can change link
+			// availability, the remaining slots are idle.
+			if cur == nil || (!anyDown && cur.NextChange() >= start+alpha) {
+				break
+			}
 		}
 	}
 }

@@ -1,0 +1,30 @@
+package verify
+
+import (
+	"fmt"
+
+	"octopus/internal/fault"
+	"octopus/internal/graph"
+	"octopus/internal/schedule"
+	"octopus/internal/traffic"
+)
+
+// EpochSchedule validates one scheduling epoch of a fault-injected run: the
+// schedule and the load it served are checked by Schedule against the
+// fabric that survives trace at slot epochStart, not the intact fabric. A
+// configuration that activates a failed link — or a route through a failed
+// link or node — is therefore a validation error, which is exactly the
+// invariant a fault-tolerant controller must uphold: plans may only ever
+// use the fabric that actually exists when they run.
+func EpochSchedule(g *graph.Digraph, trace *fault.Trace, epochStart int, load *traffic.Load, sch *schedule.Schedule, opt Options) (*Report, error) {
+	if epochStart < 0 {
+		return nil, fmt.Errorf("verify: negative epoch start slot %d", epochStart)
+	}
+	surviving := trace.Surviving(g, epochStart)
+	rep, err := Schedule(surviving, load, sch, opt)
+	if err != nil {
+		return nil, fmt.Errorf("verify: epoch starting at slot %d against surviving fabric (%d of %d links up): %w",
+			epochStart, surviving.M(), g.M(), err)
+	}
+	return rep, nil
+}
