@@ -21,7 +21,7 @@ import (
 	"path/filepath"
 	"strings"
 
-	"octopus/internal/core"
+	"octopus/internal/algo"
 	"octopus/internal/experiment"
 )
 
@@ -70,14 +70,12 @@ func main() {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
-	switch *matcher {
-	case "":
-	case "exact":
-		sc.Matcher = core.MatcherExact
-	case "greedy":
-		sc.Matcher = core.MatcherGreedy
-	default:
-		fatalf("unknown matcher %q (want exact or greedy)", *matcher)
+	if *matcher != "" {
+		m, err := algo.ParseMatcher(*matcher)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sc.Matcher = m
 	}
 	if *nodeSweep != "" {
 		sc.NodeSweep = parseInts(*nodeSweep)

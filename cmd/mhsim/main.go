@@ -1,25 +1,30 @@
 // Command mhsim runs one multi-hop scheduling scenario end to end:
 // generate (or read) a traffic load, plan a schedule with the selected
 // algorithm, replay it in the packet-level simulator, and print the
-// outcome.
+// outcome. Algorithms are dispatched through the internal/algo registry,
+// so every registered algorithm — core Octopus variants, baselines,
+// maxweight, hybrid, UB — is available with a uniform spec grammar.
 //
 // Usage:
 //
 //	mhsim -n 100 -window 10000 -delta 20 -algo octopus
 //	mhsim -algo octopus-plus -routes 10
+//	mhsim -algo octopus-e:eps64=8
 //	mhsim -trace fb-hadoop -algo eclipse-based
 //	mhsim -load load.json -algo octopus-g -v
 //	mhsim -algo octopus -faults trace.json
+//	mhsim -list-algos
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
 
-	"octopus/internal/baseline"
+	"octopus/internal/algo"
 	"octopus/internal/core"
 	"octopus/internal/fault"
 	"octopus/internal/graph"
@@ -29,51 +34,74 @@ import (
 	"octopus/internal/traffic"
 )
 
-// knownAlgos lists every -algo value, in the order shown by usage errors.
-var knownAlgos = []string{
-	"octopus", "octopus-g", "octopus-b", "octopus-e", "octopus-plus",
-	"octopus-random", "eclipse-based", "rotornet", "ub", "maxweight",
-}
-
-// faultAlgos are the algorithms the fault-tolerant online pipeline can
-// drive: the Octopus core family (they plan through core.Options).
-var faultAlgos = map[string]bool{
-	"octopus": true, "octopus-g": true, "octopus-b": true,
-	"octopus-e": true, "octopus-plus": true, "octopus-random": true,
-}
-
 func main() {
-	var (
-		n          = flag.Int("n", 24, "number of network nodes")
-		window     = flag.Int("window", 1000, "window W in time slots")
-		delta      = flag.Int("delta", 20, "reconfiguration delay Δ in time slots")
-		algo       = flag.String("algo", "octopus", "algorithm: "+strings.Join(knownAlgos, ", "))
-		seed       = flag.Int64("seed", 1, "RNG seed")
-		trace      = flag.String("trace", "", "trace-like load: fb-hadoop, fb-web, fb-db, ms (default: synthetic)")
-		loadPath   = flag.String("load", "", "read the traffic load from a JSON file instead of generating")
-		routes     = flag.Int("routes", 1, "candidate routes per flow (for octopus-plus / octopus-random)")
-		fixedHops  = flag.Int("fixed-hops", 0, "force every route to this many hops")
-		ports      = flag.Int("ports", 1, "input/output ports per node")
-		deg        = flag.Int("deg", 0, "partial fabric with this out-degree per node (0 = complete)")
-		multihop   = flag.Bool("multihop", false, "allow packets to chain hops within a configuration")
-		verbose    = flag.Bool("v", false, "print the configuration sequence")
-		gantt      = flag.Bool("gantt", false, "print the schedule as an ASCII Gantt chart")
-		saveSched  = flag.String("save-schedule", "", "write the planned schedule to a JSON file")
-		replay     = flag.String("replay", "", "skip planning: replay a schedule JSON file over the load")
-		faultsPath = flag.String("faults", "", "inject a link/node failure trace from a JSON file (see internal/fault)")
-	)
-	flag.Parse()
-
-	// Reject unknown algorithms and unsupported flag combinations before
-	// any generation or planning work.
-	if !isKnownAlgo(*algo) {
-		fatalf("unknown algorithm %q (valid: %s)", *algo, strings.Join(knownAlgos, ", "))
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "mhsim: %v\n", err)
+		os.Exit(1)
 	}
-	if *faultsPath != "" && *replay == "" && !faultAlgos[*algo] {
-		fatalf("algorithm %q does not support -faults (use one of: octopus, octopus-g, octopus-b, octopus-e, octopus-plus, octopus-random)", *algo)
+}
+
+// run is the whole command behind a testable seam: it parses args with its
+// own FlagSet and writes only to the given writers.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mhsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		n          = fs.Int("n", 24, "number of network nodes")
+		window     = fs.Int("window", 1000, "window W in time slots")
+		delta      = fs.Int("delta", 20, "reconfiguration delay Δ in time slots")
+		algoSpec   = fs.String("algo", "octopus", "algorithm spec name[:key=value,...]; names: "+strings.Join(algo.Names(), ", "))
+		seed       = fs.Int64("seed", 1, "RNG seed")
+		trace      = fs.String("trace", "", "trace-like load: fb-hadoop, fb-web, fb-db, ms (default: synthetic)")
+		loadPath   = fs.String("load", "", "read the traffic load from a JSON file instead of generating")
+		routes     = fs.Int("routes", 1, "candidate routes per flow (for octopus-plus / octopus-random)")
+		fixedHops  = fs.Int("fixed-hops", 0, "force every route to this many hops")
+		ports      = fs.Int("ports", 1, "input/output ports per node")
+		deg        = fs.Int("deg", 0, "partial fabric with this out-degree per node (0 = complete)")
+		multihop   = fs.Bool("multihop", false, "allow packets to chain hops within a configuration")
+		hold       = fs.Int("hold", 0, "maxweight: slots to hold each matching (0 = 10·Δ)")
+		verbose    = fs.Bool("v", false, "print the configuration sequence")
+		gantt      = fs.Bool("gantt", false, "print the schedule as an ASCII Gantt chart")
+		saveSched  = fs.String("save-schedule", "", "write the planned schedule to a JSON file")
+		replay     = fs.String("replay", "", "skip planning: replay a schedule JSON file over the load")
+		faultsPath = fs.String("faults", "", "inject a link/node failure trace from a JSON file (see internal/fault)")
+		listAlgos  = fs.Bool("list-algos", false, "print the algorithm registry (name, kind, description; tab-separated) and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *listAlgos {
+		listRegistry(stdout)
+		return nil
+	}
+
+	// Resolve the algorithm spec and reject unsupported flag combinations
+	// before any generation or planning work.
+	a, params, err := algo.ParseSpec(*algoSpec, algo.Params{
+		Window:   *window,
+		Delta:    *delta,
+		Ports:    *ports,
+		Seed:     *seed,
+		Hold:     *hold,
+		MultiHop: *multihop,
+	})
+	if err != nil {
+		return err
+	}
+	wantSchedule := *verbose || *gantt || *saveSched != ""
+	if wantSchedule && a.Kind() != algo.Offline && *replay == "" {
+		return fmt.Errorf("algorithm %q is %s and produces no schedule; -v, -gantt, and -save-schedule need an offline algorithm",
+			a.Name(), a.Kind())
+	}
+	planner, isCore := a.(algo.CorePlanner)
+	if *faultsPath != "" && *replay == "" && !isCore {
+		return fmt.Errorf("algorithm %q does not support -faults (use one of: %s)",
+			a.Name(), strings.Join(algo.CoreNames(), ", "))
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
+	params.Rng = rng
 	var g *graph.Digraph
 	if *deg > 0 {
 		g = graph.RandomPartial(*n, *deg, rng)
@@ -83,168 +111,104 @@ func main() {
 
 	faults, err := loadFaults(*faultsPath, g)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 
 	load, err := makeLoad(g, *loadPath, *trace, *n, *window, *routes, *fixedHops, rng)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
-	fmt.Printf("fabric: %d nodes, %d links; load: %d flows, %d packets, max %d hops\n",
+	fmt.Fprintf(stdout, "fabric: %d nodes, %d links; load: %d flows, %d packets, max %d hops\n",
 		g.N(), g.M(), len(load.Flows), load.TotalPackets(), load.MaxHops())
 	if faults != nil {
-		fmt.Printf("faults: %d events, delta jitter on %d reconfigurations\n",
+		fmt.Fprintf(stdout, "faults: %d events, delta jitter on %d reconfigurations\n",
 			len(faults.Events), len(faults.DeltaJitter))
 	}
 
 	if *replay != "" {
 		sch, err := loadSchedule(*replay, g, *ports)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		sim, err := simulate.Run(g, load, sch, simulate.Options{
 			Window: *window, MultiHop: *multihop, Ports: *ports, Faults: faults,
 		})
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		report(sim, len(sch.Configs))
+		report(stdout, sim.Delivered, sim.TotalPackets, sim.DeliveredFraction(),
+			sim.Hops, sim.Utilization(), sim.Configs, len(sch.Configs))
 		if faults != nil {
-			fmt.Printf("faults: %d active link-slots lost, %d packets stranded in-network\n",
+			fmt.Fprintf(stdout, "faults: %d active link-slots lost, %d packets stranded in-network\n",
 				sim.FailedLinkSlots, sim.Stranded)
 		}
-		return
+		return nil
 	}
 
 	if faults != nil {
-		opt, err := coreOptions(*algo, load, rng, *window, *delta, *ports, *multihop)
+		runLoad, opt, err := planner.CoreOptions(load, params)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		runFaulty(g, load, faults, opt)
-		return
+		return runFaulty(stdout, g, runLoad, faults, opt)
 	}
 
-	switch *algo {
-	case "maxweight":
-		var arr []online.Arrival
-		for _, f := range load.Flows {
-			arr = append(arr, online.Arrival{Flow: f, At: 0})
-		}
-		hold := 10 * *delta
-		if hold == 0 {
-			hold = 10
-		}
-		res, err := online.MaxWeightAdaptive(g, arr, online.AdaptiveOptions{
-			Horizon: *window, Delta: *delta, Hold: hold,
-		})
-		if err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Printf("maxweight: delivered %d/%d (%.2f%%), %d packet-hops, %d reconfigurations\n",
-			res.Delivered, res.Total, 100*res.DeliveredFraction(), res.Hops, res.Reconfigs)
-		return
-	case "eclipse-based":
-		sim, sch, err := baseline.EclipseBased(g, load, *window, *delta, core.MatcherExact)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		report(sim, len(sch.Configs))
-		return
-	case "rotornet":
-		sim, sch, err := baseline.RotorNet(g, load, *window, *delta, 0)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		report(sim, len(sch.Configs))
-		return
-	case "ub":
-		ub, err := baseline.UpperBound(g, load, *window, *delta, core.MatcherExact)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Printf("UB: delivered %d/%d (%.2f%%), utilization %.2f%%\n",
-			ub.Delivered, ub.TotalPackets, 100*ub.DeliveredFraction(), 100*ub.Utilization())
-		return
-	}
-
-	opt, err := coreOptions(*algo, load, rng, *window, *delta, *ports, *multihop)
+	out, err := a.Run(g, load, params)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
-	s, err := core.New(g, load, opt)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	res, err := s.Run()
-	if err != nil {
-		fatalf("%v", err)
+	if wantSchedule && out.Schedule == nil {
+		return fmt.Errorf("algorithm %q produced no schedule on this instance; nothing to print or save", a.Name())
 	}
 	if *verbose {
-		for i, cfg := range res.Schedule.Configs {
-			fmt.Printf("  config %3d: %s\n", i, cfg)
+		for i, cfg := range out.Schedule.Configs {
+			fmt.Fprintf(stdout, "  config %3d: %s\n", i, cfg)
 		}
 	}
 	if *gantt {
-		if err := res.Schedule.WriteGantt(os.Stdout, g.N()); err != nil {
-			fatalf("%v", err)
+		if err := out.Schedule.WriteGantt(stdout, g.N()); err != nil {
+			return err
 		}
 	}
 	if *saveSched != "" {
-		if err := res.Schedule.SaveFile(*saveSched); err != nil {
-			fatalf("%v", err)
+		if err := out.Schedule.SaveFile(*saveSched); err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote schedule to %s\n", *saveSched)
+		fmt.Fprintf(stderr, "wrote schedule to %s\n", *saveSched)
 	}
-	fmt.Printf("plan: %d configurations, cost %d/%d slots, %d iterations\n",
-		len(res.Schedule.Configs), res.Schedule.Cost(), *window, res.Iterations)
-	if opt.MultiRoute {
-		// Octopus+ plans are measured by their verified bookkeeping.
-		fmt.Printf("plan bookkeeping: delivered %d/%d (%.2f%%), %d packet-hops\n",
-			res.Delivered, res.TotalPackets, 100*float64(res.Delivered)/float64(res.TotalPackets), res.Hops)
-		return
-	}
-	sim, err := simulate.Run(g, load, res.Schedule, simulate.Options{
-		Window: *window, MultiHop: *multihop, Ports: *ports, Epsilon64: opt.Epsilon64,
-	})
-	if err != nil {
-		fatalf("%v", err)
-	}
-	report(sim, len(res.Schedule.Configs))
-}
 
-func isKnownAlgo(algo string) bool {
-	for _, a := range knownAlgos {
-		if a == algo {
-			return true
-		}
-	}
-	return false
-}
-
-// coreOptions maps an Octopus-family -algo value onto core.Options.
-// octopus-random mutates the load in place to pin one random route per flow.
-func coreOptions(algo string, load *traffic.Load, rng *rand.Rand, window, delta, ports int, multihop bool) (core.Options, error) {
-	opt := core.Options{Window: window, Delta: delta, Ports: ports, MultiHop: multihop}
-	switch algo {
-	case "octopus":
-	case "octopus-g":
-		opt.Matcher = core.MatcherGreedy
-	case "octopus-b":
-		opt.AlphaSearch = core.AlphaBinary
-	case "octopus-e":
-		opt.Epsilon64 = 4
-	case "octopus-plus":
-		opt.MultiRoute = true
-	case "octopus-random":
-		for i := range load.Flows {
-			f := &load.Flows[i]
-			f.Routes = []traffic.Route{f.Routes[rng.Intn(len(f.Routes))]}
-		}
+	switch a.Kind() {
+	case algo.Online:
+		fmt.Fprintf(stdout, "%s: delivered %d/%d (%.2f%%), %d packet-hops, %d reconfigurations\n",
+			out.Algo, out.Delivered, out.Total, 100*out.DeliveredFraction(), out.Hops, out.Reconfigs)
+	case algo.Bound:
+		fmt.Fprintf(stdout, "%s: delivered %d/%d (%.2f%%), utilization %.2f%%\n",
+			strings.ToUpper(out.Algo), out.Delivered, out.Total, 100*out.DeliveredFraction(), 100*out.Utilization())
 	default:
-		return core.Options{}, fmt.Errorf("algorithm %q is not an Octopus-core variant", algo)
+		if out.Plan != nil && out.Schedule != nil {
+			fmt.Fprintf(stdout, "plan: %d configurations, cost %d/%d slots, %d iterations\n",
+				len(out.Schedule.Configs), out.Schedule.Cost(), *window, out.Plan.Iterations)
+		}
+		if out.Measured {
+			report(stdout, out.Delivered, out.Total, out.DeliveredFraction(),
+				out.Hops, out.Utilization(), out.ConfigsReplayed, out.Reconfigs)
+		} else {
+			// Plans whose bookkeeping is authoritative (Octopus+, eclipse,
+			// eclipse-pp, hybrid) are reported from it.
+			fmt.Fprintf(stdout, "plan bookkeeping: delivered %d/%d (%.2f%%), %d packet-hops\n",
+				out.Delivered, out.Total, 100*out.DeliveredFraction(), out.Hops)
+		}
 	}
-	return opt, nil
+	return nil
+}
+
+// listRegistry prints the machine-readable algorithm listing: one
+// tab-separated line per algorithm (name, kind, description), in registry
+// order. The README algorithm table is generated from this output.
+func listRegistry(w io.Writer) {
+	for _, a := range algo.Registry() {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", a.Name(), a.Kind(), a.Describe())
+	}
 }
 
 // loadFaults reads and validates a failure trace against the fabric; an
@@ -279,7 +243,7 @@ func loadSchedule(path string, g *graph.Digraph, ports int) (*schedule.Schedule,
 
 // runFaulty drives the fault-tolerant online pipeline and prints the
 // per-epoch degradation report.
-func runFaulty(g *graph.Digraph, load *traffic.Load, faults *fault.Trace, opt core.Options) {
+func runFaulty(stdout io.Writer, g *graph.Digraph, load *traffic.Load, faults *fault.Trace, opt core.Options) error {
 	var arr []online.Arrival
 	for _, f := range load.Flows {
 		arr = append(arr, online.Arrival{Flow: f, At: 0})
@@ -288,20 +252,21 @@ func runFaulty(g *graph.Digraph, load *traffic.Load, faults *fault.Trace, opt co
 		Options: online.Options{Core: opt},
 	})
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	for _, ep := range res.Epochs {
-		fmt.Printf("epoch %3d: %d links, %d nodes down | offered %d delivered %d backlog %d | rerouted %d stranded %d dropped %d | reference %d\n",
+		fmt.Fprintf(stdout, "epoch %3d: %d links, %d nodes down | offered %d delivered %d backlog %d | rerouted %d stranded %d dropped %d | reference %d\n",
 			ep.Epoch, ep.FailedLinks, ep.FailedNodes,
 			ep.Offered, ep.Delivered, ep.Backlog,
 			ep.Rerouted, ep.Stranded, ep.Dropped, ep.RefDelivered)
 	}
-	fmt.Printf("degraded: delivered %d/%d (%.2f%%), dropped %d unreachable\n",
+	fmt.Fprintf(stdout, "degraded: delivered %d/%d (%.2f%%), dropped %d unreachable\n",
 		res.Delivered, res.Total, 100*res.DeliveredFraction(), res.Dropped)
 	if res.Reference != nil {
-		fmt.Printf("reference: delivered %d/%d failure-free; degradation %.2f%%\n",
+		fmt.Fprintf(stdout, "reference: delivered %d/%d failure-free; degradation %.2f%%\n",
 			res.Reference.Delivered, res.Reference.Total, 100*res.Degradation())
 	}
+	return nil
 }
 
 func makeLoad(g *graph.Digraph, path, trace string, n, window, routes, fixedHops int, rng *rand.Rand) (*traffic.Load, error) {
@@ -334,13 +299,7 @@ func makeLoad(g *graph.Digraph, path, trace string, n, window, routes, fixedHops
 	return traffic.Synthetic(g, p, rng)
 }
 
-func report(sim *simulate.Result, configs int) {
-	fmt.Printf("measured: delivered %d/%d (%.2f%%), %d packet-hops, utilization %.2f%%, %d/%d configs replayed\n",
-		sim.Delivered, sim.TotalPackets, 100*sim.DeliveredFraction(),
-		sim.Hops, 100*sim.Utilization(), sim.Configs, configs)
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "mhsim: "+format+"\n", args...)
-	os.Exit(1)
+func report(w io.Writer, delivered, total int, frac float64, hops int, util float64, replayed, configs int) {
+	fmt.Fprintf(w, "measured: delivered %d/%d (%.2f%%), %d packet-hops, utilization %.2f%%, %d/%d configs replayed\n",
+		delivered, total, 100*frac, hops, 100*util, replayed, configs)
 }

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"octopus/internal/algo"
 	"octopus/internal/fault"
 	"octopus/internal/graph"
 	"octopus/internal/schedule"
@@ -73,45 +78,118 @@ func TestMakeLoadFromFile(t *testing.T) {
 	}
 }
 
-func TestKnownAlgos(t *testing.T) {
-	for _, a := range knownAlgos {
-		if !isKnownAlgo(a) {
-			t.Errorf("%s not recognized", a)
-		}
-	}
-	for _, a := range []string{"", "Octopus", "octopus ", "bogus"} {
-		if isKnownAlgo(a) {
+func TestUnknownAlgoRejected(t *testing.T) {
+	for _, a := range []string{"", "Octopus", "octopus ", "bogus", "octopus:eps64"} {
+		err := run([]string{"-n", "4", "-algo", a}, io.Discard, io.Discard)
+		if err == nil {
 			t.Errorf("%q accepted", a)
 		}
 	}
 }
 
-func TestCoreOptionsMapping(t *testing.T) {
-	g := graph.Complete(4)
-	rng := rand.New(rand.NewSource(1))
-	load := &traffic.Load{Flows: []traffic.Flow{
-		{ID: 1, Size: 2, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}, {0, 2, 1}}},
-	}}
-	opt, err := coreOptions("octopus-plus", load, rng, 100, 5, 1, false)
-	if err != nil || !opt.MultiRoute {
-		t.Fatalf("octopus-plus: %+v, %v", opt, err)
+func TestScheduleFlagsRejectedForScheduleFreeAlgos(t *testing.T) {
+	for _, a := range []string{"maxweight", "ub"} {
+		for _, fl := range []string{"-v", "-gantt"} {
+			if err := run([]string{"-n", "4", "-algo", a, fl}, io.Discard, io.Discard); err == nil {
+				t.Errorf("%s %s accepted", a, fl)
+			}
+		}
+		if err := run([]string{"-n", "4", "-algo", a, "-save-schedule", filepath.Join(t.TempDir(), "s.json")}, io.Discard, io.Discard); err == nil {
+			t.Errorf("%s -save-schedule accepted", a)
+		}
 	}
-	opt, err = coreOptions("octopus-e", load, rng, 100, 5, 1, false)
-	if err != nil || opt.Epsilon64 != 4 {
-		t.Fatalf("octopus-e: %+v, %v", opt, err)
+}
+
+func TestScheduleFlagsWorkForBaselines(t *testing.T) {
+	// Pre-refactor mhsim silently ignored -gantt / -save-schedule / -v for
+	// baseline algorithms; the registry Outcome carries the schedule, so
+	// they now work uniformly for every schedule-producing algorithm.
+	for _, a := range []string{"eclipse-based", "rotornet", "solstice", "eclipse"} {
+		path := filepath.Join(t.TempDir(), "sched.json")
+		var out, errw bytes.Buffer
+		err := run([]string{"-n", "6", "-window", "60", "-delta", "4", "-seed", "2",
+			"-algo", a, "-v", "-gantt", "-save-schedule", path}, &out, &errw)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if !strings.Contains(out.String(), "config   0:") {
+			t.Errorf("%s: -v printed no configuration sequence:\n%s", a, out.String())
+		}
+		sch, err := schedule.LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: -save-schedule wrote nothing usable: %v", a, err)
+		}
+		if len(sch.Configs) == 0 {
+			t.Errorf("%s: saved schedule is empty", a)
+		}
 	}
-	if _, err := coreOptions("rotornet", load, rng, 100, 5, 1, false); err == nil {
-		t.Fatal("non-core algorithm accepted")
-	}
-	// octopus-random pins one route per flow.
-	if _, err := coreOptions("octopus-random", load, rng, 100, 5, 1, false); err != nil {
+}
+
+func TestFaultsRejectedForNonCoreAlgos(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	tr := &fault.Trace{Events: []fault.Event{{At: 5, Kind: fault.LinkDown, From: 0, To: 1}}}
+	if err := tr.SaveFile(tracePath); err != nil {
 		t.Fatal(err)
 	}
-	if len(load.Flows[0].Routes) != 1 {
-		t.Fatalf("octopus-random left %d routes", len(load.Flows[0].Routes))
+	err := run([]string{"-n", "4", "-algo", "rotornet", "-faults", tracePath}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "does not support -faults") {
+		t.Fatalf("rotornet -faults: %v", err)
 	}
-	if err := load.Validate(g); err != nil {
+	// Every core-family algorithm must be accepted by the same gate.
+	for _, name := range algo.CoreNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not list core algorithm %s: %v", name, err)
+		}
+	}
+}
+
+func TestListAlgosMatchesRegistry(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list-algos"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	reg := algo.Registry()
+	if len(lines) != len(reg) {
+		t.Fatalf("listed %d algorithms, registry has %d", len(lines), len(reg))
+	}
+	for i, a := range reg {
+		want := a.Name() + "\t" + a.Kind().String() + "\t" + a.Describe()
+		if lines[i] != want {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want)
+		}
+	}
+}
+
+// TestReadmeAlgoTableInSync keeps the README's generated algorithm table
+// identical to the registry listing (the same check CI runs): each row
+// between the algo-table markers must match -list-algos, line for line.
+func TestReadmeAlgoTableInSync(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(raw)
+	const start, end = "<!-- algo-table-start -->", "<!-- algo-table-end -->"
+	i, j := strings.Index(readme, start), strings.Index(readme, end)
+	if i < 0 || j < i {
+		t.Fatal("README.md is missing the algo-table markers")
+	}
+	var rows []string
+	for _, line := range strings.Split(readme[i+len(start):j], "\n") {
+		if strings.HasPrefix(line, "| `") {
+			rows = append(rows, line)
+		}
+	}
+	reg := algo.Registry()
+	if len(rows) != len(reg) {
+		t.Fatalf("README table has %d rows, registry has %d algorithms", len(rows), len(reg))
+	}
+	for k, a := range reg {
+		want := fmt.Sprintf("| `%s` | %s | %s |", a.Name(), a.Kind(), a.Describe())
+		if rows[k] != want {
+			t.Errorf("README row %d:\n  have %s\n  want %s", k, rows[k], want)
+		}
 	}
 }
 

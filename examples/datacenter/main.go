@@ -1,8 +1,13 @@
 // Datacenter: schedule realistic data-center traffic mixes on a hybrid
-// circuit fabric and compare every algorithm the paper evaluates —
-// Octopus and its variants against the Eclipse-Based and RotorNet
-// baselines and the UB upper bound — over both the synthetic workload and
-// the trace-like loads standing in for the Facebook/Microsoft traces.
+// circuit fabric and compare every algorithm in the registry — Octopus and
+// its variants against the Eclipse-Based, Solstice, and RotorNet baselines,
+// the MaxWeight online policy, and the UB upper bound — over both the
+// synthetic workload and the trace-like loads standing in for the
+// Facebook/Microsoft traces.
+//
+// The comparison loop is registry-driven: it enumerates
+// octopus.Algorithms() rather than hand-rolling one block per algorithm,
+// so a newly registered algorithm shows up here with no code change.
 //
 // Flags scale the scenario; defaults run in a few seconds.
 package main
@@ -28,7 +33,7 @@ func main() {
 	flag.Parse()
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "workload\talgorithm\tdelivered%\tutilization%")
+	fmt.Fprintln(w, "workload\talgorithm\tkind\tdelivered%\tutilization%")
 
 	workloads := []struct {
 		name string
@@ -43,6 +48,7 @@ func main() {
 		{"ms-heatmap", trace(octopus.MSHeatmap, *window)},
 	}
 
+	params := octopus.AlgoParams{Window: *window, Delta: *delta, Seed: *seed}
 	for _, wl := range workloads {
 		g := octopus.Complete(*nodes)
 		rng := rand.New(rand.NewSource(*seed))
@@ -50,57 +56,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-
-		run := func(name string, opt octopus.Options) {
-			res, err := octopus.Schedule(g, load, opt)
+		for _, a := range octopus.Algorithms() {
+			out, err := a.Run(g, load, params)
 			if err != nil {
-				log.Fatal(err)
+				log.Fatalf("%s on %s: %v", a.Name(), wl.name, err)
 			}
-			meas, err := octopus.Measure(g, load, res.Schedule, octopus.SimOptions{
-				Window: *window, Epsilon64: opt.Epsilon64,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\n", wl.name, name,
-				100*meas.DeliveredFraction(), 100*meas.Utilization())
+			fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\t%.1f\n", wl.name, out.Algo, a.Kind(),
+				100*out.DeliveredFraction(), 100*out.Utilization())
 		}
-
-		base := octopus.Options{Window: *window, Delta: *delta}
-		run("Octopus", base)
-
-		gOpt := base
-		gOpt.Matcher = octopus.MatcherGreedy
-		run("Octopus-G", gOpt)
-
-		bOpt := base
-		bOpt.AlphaSearch = octopus.AlphaBinary
-		run("Octopus-B", bOpt)
-
-		eOpt := base
-		eOpt.Epsilon64 = 4
-		run("Octopus-e", eOpt)
-
-		ecl, err := octopus.EclipseBased(g, load, *window, *delta)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(w, "%s\tEclipse-Based\t%.1f\t%.1f\n", wl.name,
-			100*ecl.DeliveredFraction(), 100*ecl.Utilization())
-
-		rot, err := octopus.RotorNet(g, load, *window, *delta)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(w, "%s\tRotorNet\t%.1f\t%.1f\n", wl.name,
-			100*rot.DeliveredFraction(), 100*rot.Utilization())
-
-		ub, err := octopus.UpperBound(g, load, *window, *delta)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(w, "%s\tUB (bound)\t%.1f\t%.1f\n", wl.name,
-			100*ub.DeliveredFraction(), 100*ub.Utilization())
 	}
 	w.Flush()
 }

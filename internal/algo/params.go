@@ -1,0 +1,190 @@
+package algo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"octopus/internal/core"
+)
+
+// Params is the shared parameter spec every registered algorithm runs
+// under. The generic fields (Window, Delta, Ports, MultiHop, Matcher,
+// Seed) apply to every algorithm that uses them; the remaining knobs are
+// consumed by the algorithms they name and ignored by the rest.
+type Params struct {
+	Window int // W, the scheduling window (or online horizon) in slots
+	Delta  int // Δ, the reconfiguration delay in slots
+	Ports  int // input/output ports per node (§7); 0 or 1 = single-port
+
+	// MultiHop lets packets chain hops within one configuration (§5),
+	// both in planning (core.Options.MultiHop) and in measurement.
+	MultiHop bool
+
+	// Matcher selects the matching solver for algorithms that take one
+	// (the octopus-g preset overrides it to the greedy matcher).
+	Matcher core.Matcher
+
+	// Seed seeds algorithm-internal randomness (octopus-random's route
+	// pinning). Rng, when non-nil, overrides Seed so a caller can share
+	// one deterministic stream across generation and runs.
+	Seed int64
+	Rng  *rand.Rand
+
+	// Epsilon64 is the Octopus-e later-hop bonus in 1/64 units; 0 selects
+	// the algorithm default (4 for octopus-e, off for plain octopus).
+	Epsilon64 int
+
+	// Hold and Hysteresis64 configure maxweight: slots to hold each
+	// matching (0 = the online package default of 10·Δ) and the
+	// reconfiguration hysteresis in 1/64 units.
+	Hold         int
+	Hysteresis64 int
+
+	// PacketRate is hybrid's packet-network per-port rate in packets per
+	// slot; 0 selects the default 0.1.
+	PacketRate float64
+
+	// SlotsPerMatching is rotornet's per-matching dwell time; 0 selects
+	// the RotorNet default.
+	SlotsPerMatching int
+
+	// DisableBacktrack turns off Octopus+ direct-link backtracking
+	// (the ext-backtrack ablation).
+	DisableBacktrack bool
+
+	// KeepTrace makes core planners record every planned movement so the
+	// plan can be audited by core.Result.VerifyPlan (used by the
+	// differential harness; costs memory).
+	KeepTrace bool
+}
+
+// rng returns the parameter RNG: Rng when set, otherwise a fresh stream
+// seeded with Seed.
+func (p Params) rng() *rand.Rand {
+	if p.Rng != nil {
+		return p.Rng
+	}
+	return rand.New(rand.NewSource(p.Seed))
+}
+
+// ParseMatcher maps a matcher name onto core.Matcher.
+func ParseMatcher(s string) (core.Matcher, error) {
+	switch s {
+	case "exact":
+		return core.MatcherExact, nil
+	case "greedy":
+		return core.MatcherGreedy, nil
+	}
+	return 0, fmt.Errorf("unknown matcher %q (want exact or greedy)", s)
+}
+
+// ParseSpec resolves an algorithm spec string with the uniform grammar
+//
+//	name[:key=value,...]
+//
+// against the registry, overlaying any key=value options onto base. Keys:
+// window, delta, ports, seed, eps64, hold, hys64, slots (integers),
+// rate (float), multihop, backtrack, keeptrace (booleans; backtrack=false
+// disables Octopus+ backtracking), and matcher (exact|greedy).
+func ParseSpec(spec string, base Params) (Algorithm, Params, error) {
+	name, opts, hasOpts := strings.Cut(spec, ":")
+	a, ok := Lookup(name)
+	if !ok {
+		return nil, base, fmt.Errorf("unknown algorithm %q (valid: %s)", name, strings.Join(Names(), ", "))
+	}
+	p := base
+	if !hasOpts {
+		return a, p, nil
+	}
+	for _, kv := range strings.Split(opts, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return nil, base, fmt.Errorf("algorithm spec %q: malformed option %q (want key=value)", spec, kv)
+		}
+		if err := p.set(key, val); err != nil {
+			return nil, base, fmt.Errorf("algorithm spec %q: %w", spec, err)
+		}
+	}
+	return a, p, nil
+}
+
+// specKeys names every key ParseSpec accepts, for error messages.
+var specKeys = []string{
+	"backtrack", "delta", "eps64", "hold", "hys64", "keeptrace",
+	"matcher", "multihop", "ports", "rate", "seed", "slots", "window",
+}
+
+// set applies one key=value option to the params.
+func (p *Params) set(key, val string) error {
+	parseInt := func(dst *int) error {
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("option %s=%q: want an integer", key, val)
+		}
+		*dst = v
+		return nil
+	}
+	parseBool := func(dst *bool) error {
+		v, err := strconv.ParseBool(val)
+		if err != nil {
+			return fmt.Errorf("option %s=%q: want a boolean", key, val)
+		}
+		*dst = v
+		return nil
+	}
+	switch key {
+	case "window":
+		return parseInt(&p.Window)
+	case "delta":
+		return parseInt(&p.Delta)
+	case "ports":
+		return parseInt(&p.Ports)
+	case "eps64":
+		return parseInt(&p.Epsilon64)
+	case "hold":
+		return parseInt(&p.Hold)
+	case "hys64":
+		return parseInt(&p.Hysteresis64)
+	case "slots":
+		return parseInt(&p.SlotsPerMatching)
+	case "multihop":
+		return parseBool(&p.MultiHop)
+	case "keeptrace":
+		return parseBool(&p.KeepTrace)
+	case "backtrack":
+		var backtrack bool
+		if err := parseBool(&backtrack); err != nil {
+			return err
+		}
+		p.DisableBacktrack = !backtrack
+		return nil
+	case "seed":
+		v, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("option %s=%q: want an integer", key, val)
+		}
+		p.Seed = v
+		return nil
+	case "rate":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("option %s=%q: want a number", key, val)
+		}
+		p.PacketRate = v
+		return nil
+	case "matcher":
+		m, err := ParseMatcher(val)
+		if err != nil {
+			return err
+		}
+		p.Matcher = m
+		return nil
+	}
+	keys := append([]string(nil), specKeys...)
+	sort.Strings(keys)
+	return fmt.Errorf("unknown option %q (valid: %s)", key, strings.Join(keys, ", "))
+}

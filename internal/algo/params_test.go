@@ -1,0 +1,132 @@
+package algo
+
+import (
+	"strings"
+	"testing"
+
+	"octopus/internal/core"
+)
+
+func TestParseMatcher(t *testing.T) {
+	if m, err := ParseMatcher("exact"); err != nil || m != core.MatcherExact {
+		t.Fatalf("exact: %v, %v", m, err)
+	}
+	if m, err := ParseMatcher("greedy"); err != nil || m != core.MatcherGreedy {
+		t.Fatalf("greedy: %v, %v", m, err)
+	}
+	if _, err := ParseMatcher("hungarian"); err == nil {
+		t.Fatal("bogus matcher accepted")
+	}
+}
+
+func TestParseSpecPlainName(t *testing.T) {
+	base := Params{Window: 100, Delta: 5}
+	a, p, err := ParseSpec("octopus", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "octopus" || p != base {
+		t.Fatalf("got %s, %+v", a.Name(), p)
+	}
+}
+
+func TestParseSpecOptions(t *testing.T) {
+	base := Params{Window: 100, Delta: 5}
+	a, p, err := ParseSpec("maxweight:hold=50,hys64=96", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "maxweight" || p.Hold != 50 || p.Hysteresis64 != 96 {
+		t.Fatalf("got %s, %+v", a.Name(), p)
+	}
+	_, p, err = ParseSpec("octopus-e:eps64=8,window=200,matcher=greedy", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Epsilon64 != 8 || p.Window != 200 || p.Matcher != core.MatcherGreedy {
+		t.Fatalf("got %+v", p)
+	}
+	_, p, err = ParseSpec("octopus-plus:backtrack=false,keeptrace=true", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.DisableBacktrack || !p.KeepTrace {
+		t.Fatalf("got %+v", p)
+	}
+	_, p, err = ParseSpec("octopus:multihop=true,seed=7,ports=2", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.MultiHop || p.Seed != 7 || p.Ports != 2 {
+		t.Fatalf("got %+v", p)
+	}
+	_, p, err = ParseSpec("hybrid:rate=0.25", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PacketRate != 0.25 {
+		t.Fatalf("got %+v", p)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	base := Params{}
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"bogus", "unknown algorithm"},
+		{"", "unknown algorithm"},
+		{"octopus:", "malformed option"},
+		{"octopus:eps64", "malformed option"},
+		{"octopus:eps64=", "malformed option"},
+		{"octopus:eps64=abc", "want an integer"},
+		{"octopus:multihop=maybe", "want a boolean"},
+		{"hybrid:rate=fast", "want a number"},
+		{"octopus:matcher=hungarian", "unknown matcher"},
+		{"octopus:color=red", "unknown option"},
+	}
+	for _, tc := range cases {
+		_, _, err := ParseSpec(tc.spec, base)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: error %v, want substring %q", tc.spec, err, tc.want)
+		}
+	}
+	// The unknown-algorithm error lists the valid names.
+	_, _, err := ParseSpec("bogus", base)
+	for _, n := range Names() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("error does not list %q: %v", n, err)
+		}
+	}
+}
+
+// TestSpecKeysCoverSetter keeps the documented key list in sync with the
+// setter: every listed key must parse, and the error for an unknown key
+// must list them all.
+func TestSpecKeysCoverSetter(t *testing.T) {
+	vals := map[string]string{
+		"matcher": "greedy", "multihop": "true", "backtrack": "false",
+		"keeptrace": "true", "rate": "0.5",
+	}
+	for _, key := range specKeys {
+		val, ok := vals[key]
+		if !ok {
+			val = "3"
+		}
+		p := Params{}
+		if err := p.set(key, val); err != nil {
+			t.Errorf("documented key %s rejected: %v", key, err)
+		}
+	}
+	p := Params{}
+	err := p.set("nope", "1")
+	if err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	for _, key := range specKeys {
+		if !strings.Contains(err.Error(), key) {
+			t.Errorf("unknown-key error does not list %s: %v", key, err)
+		}
+	}
+}

@@ -1,10 +1,11 @@
 package experiment
 
 import (
+	"fmt"
+
+	"octopus/internal/algo"
 	"octopus/internal/baseline"
-	"octopus/internal/core"
 	"octopus/internal/graph"
-	"octopus/internal/simulate"
 	"octopus/internal/traffic"
 )
 
@@ -16,89 +17,37 @@ type metrics struct {
 	deliveredOfPsi float64 // delivered / (ψ in packet equivalents), Fig 7a
 }
 
-func fromSim(r *simulate.Result) metrics {
-	return metrics{
-		delivered:      r.DeliveredFraction(),
-		utilization:    r.Utilization(),
-		deliveredOfPsi: r.DeliveredOfPsi(),
-	}
+// params maps the scale's shared knobs onto the registry parameter set;
+// figure runners overlay their sweep variable before dispatching.
+func (sc Scale) params() algo.Params {
+	return algo.Params{Window: sc.Window, Delta: sc.Delta, Matcher: sc.Matcher}
 }
 
-// runOctopus schedules with the core scheduler and measures the schedule
-// with the packet-level simulator (the measurement authority for all
-// single-route figures).
-func runOctopus(g *graph.Digraph, load *traffic.Load, opt core.Options) (metrics, error) {
-	s, err := core.New(g, load, opt)
-	if err != nil {
-		return metrics{}, err
+// run dispatches one registered algorithm by name and reduces its Outcome
+// to the figure metrics. Every figure and extension runner goes through
+// here, so the experiment layer carries no per-algorithm options mapping
+// or roster of its own — internal/algo is the single source of truth.
+func run(name string, g *graph.Digraph, load *traffic.Load, p algo.Params) (metrics, error) {
+	a, ok := algo.Lookup(name)
+	if !ok {
+		return metrics{}, fmt.Errorf("experiment: unknown algorithm %q", name)
 	}
-	res, err := s.Run()
-	if err != nil {
-		return metrics{}, err
-	}
-	sim, err := simulate.Run(g, load, res.Schedule, simulate.Options{
-		Window:    opt.Window,
-		Epsilon64: opt.Epsilon64,
-		MultiHop:  opt.MultiHop,
-		Ports:     opt.Ports,
-	})
-	if err != nil {
-		return metrics{}, err
-	}
-	return fromSim(sim), nil
-}
-
-// runOctopusPlan schedules and reports the plan's own bookkeeping. Used for
-// Octopus+ (whose backtracking cannot be replayed forward; the plan is
-// verified by core's plan verifier instead, exercised in tests).
-func runOctopusPlan(g *graph.Digraph, load *traffic.Load, opt core.Options) (metrics, error) {
-	s, err := core.New(g, load, opt)
-	if err != nil {
-		return metrics{}, err
-	}
-	res, err := s.Run()
-	if err != nil {
-		return metrics{}, err
-	}
-	m := metrics{}
-	if res.TotalPackets > 0 {
-		m.delivered = float64(res.Delivered) / float64(res.TotalPackets)
-	}
-	if als := res.Schedule.ActiveLinkSlots(); als > 0 {
-		m.utilization = float64(res.Hops) / float64(als)
-	}
-	if res.Psi > 0 {
-		m.deliveredOfPsi = float64(res.Delivered) * float64(traffic.WeightScale) / float64(res.Psi)
-	}
-	return m, nil
-}
-
-func runEclipseBased(g *graph.Digraph, load *traffic.Load, window, delta int, matcher core.Matcher) (metrics, error) {
-	sim, _, err := baseline.EclipseBased(g, load, window, delta, matcher)
-	if err != nil {
-		return metrics{}, err
-	}
-	return fromSim(sim), nil
-}
-
-func runUB(g *graph.Digraph, load *traffic.Load, window, delta int, matcher core.Matcher) (metrics, error) {
-	ub, err := baseline.UpperBound(g, load, window, delta, matcher)
+	out, err := a.Run(g, load, p)
 	if err != nil {
 		return metrics{}, err
 	}
 	return metrics{
-		delivered:      ub.DeliveredFraction(),
-		utilization:    ub.Utilization(),
-		deliveredOfPsi: ub.DeliveredOfPsi(),
+		delivered:      out.DeliveredFraction(),
+		utilization:    out.Utilization(),
+		deliveredOfPsi: out.DeliveredOfPsi(),
 	}, nil
 }
 
-func runRotorNet(g *graph.Digraph, load *traffic.Load, window, delta int) (metrics, error) {
-	sim, _, err := baseline.RotorNet(g, load, window, delta, 0)
-	if err != nil {
-		return metrics{}, err
-	}
-	return fromSim(sim), nil
+// AlgorithmNames returns the roster the experiment layer dispatches
+// against — the registry listing, by construction (asserted equal to the
+// other entry points' rosters in the cross-roster test).
+func AlgorithmNames() []string {
+	return algo.Names()
 }
 
 // absUB returns the absolute capacity upper bound as a delivered fraction.

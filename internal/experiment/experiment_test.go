@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"octopus/internal/algo"
 	"octopus/internal/core"
 )
 
@@ -221,5 +222,28 @@ func TestAveragePointPropagatesErrors(t *testing.T) {
 	})
 	if err != nil || vals[0] != 10 {
 		t.Fatalf("vals=%v err=%v", vals, err)
+	}
+}
+
+func TestAlgorithmNamesMatchRegistry(t *testing.T) {
+	// The experiment layer dispatches by registry name; its roster IS the
+	// registry listing (the cross-roster equality guarantee).
+	names := AlgorithmNames()
+	reg := algo.Names()
+	if len(names) != len(reg) {
+		t.Fatalf("experiment roster has %d names, registry %d", len(names), len(reg))
+	}
+	for i := range names {
+		if names[i] != reg[i] {
+			t.Errorf("roster[%d] = %q, registry %q", i, names[i], reg[i])
+		}
+	}
+	// Every name the figure runners dispatch must resolve.
+	for _, n := range []string{"octopus", "octopus-g", "octopus-b", "octopus-e",
+		"octopus-plus", "octopus-random", "eclipse-based", "eclipse-pp",
+		"solstice", "rotornet", "maxweight", "ub"} {
+		if _, ok := algo.Lookup(n); !ok {
+			t.Errorf("figure-dispatched algorithm %q not in registry", n)
+		}
 	}
 }

@@ -9,7 +9,6 @@ import (
 	"octopus/internal/core"
 	"octopus/internal/graph"
 	"octopus/internal/hybrid"
-	"octopus/internal/online"
 	"octopus/internal/simulate"
 	"octopus/internal/traffic"
 )
@@ -58,19 +57,21 @@ func ExtSolstice(sc Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			oct, err := runOctopus(g, load, core.Options{Window: sc.Window, Delta: d, Matcher: sc.Matcher})
+			ap := sc.params()
+			ap.Delta = d
+			oct, err := run("octopus", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			ecl, err := runEclipseBased(g, load, sc.Window, d, sc.Matcher)
+			ecl, err := run("eclipse-based", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			sol, _, err := baseline.SolsticeBased(g, load, sc.Window, d)
+			sol, err := run("solstice", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			return []float64{oct.delivered * 100, ecl.delivered * 100, 100 * sol.DeliveredFraction()}, nil
+			return []float64{oct.delivered * 100, ecl.delivered * 100, sol.delivered * 100}, nil
 		})
 		if err != nil {
 			return nil, err
@@ -97,9 +98,9 @@ func ExtPorts(sc Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			oct, err := runOctopus(g, load, core.Options{
-				Window: sc.Window, Delta: sc.Delta, Matcher: sc.Matcher, Ports: ports,
-			})
+			ap := sc.params()
+			ap.Ports = ports
+			oct, err := run("octopus", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
@@ -179,24 +180,21 @@ func ExtBacktrack(sc Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			with, err := runOctopusPlan(g, load, core.Options{
-				Window: sc.Window, Delta: d, Matcher: sc.Matcher, MultiRoute: true,
-			})
+			ap := sc.params()
+			ap.Delta = d
+			with, err := run("octopus-plus", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			without, err := runOctopusPlan(g, load, core.Options{
-				Window: sc.Window, Delta: d, Matcher: sc.Matcher, MultiRoute: true, DisableBacktrack: true,
-			})
+			apN := ap
+			apN.DisableBacktrack = true
+			without, err := run("octopus-plus", g, load, apN)
 			if err != nil {
 				return nil, err
 			}
-			resolved := load.Clone()
-			for fi := range resolved.Flows {
-				f := &resolved.Flows[fi]
-				f.Routes = []traffic.Route{f.Routes[rng.Intn(len(f.Routes))]}
-			}
-			rnd, err := runOctopus(g, resolved, core.Options{Window: sc.Window, Delta: d, Matcher: sc.Matcher})
+			apR := ap
+			apR.Rng = rng
+			rnd, err := run("octopus-random", g, load, apR)
 			if err != nil {
 				return nil, err
 			}
@@ -228,19 +226,21 @@ func ExtEclipsePP(sc Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			oct, err := runOctopus(g, load, core.Options{Window: sc.Window, Delta: d, Matcher: sc.Matcher})
+			ap := sc.params()
+			ap.Delta = d
+			oct, err := run("octopus", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			ecl, err := runEclipseBased(g, load, sc.Window, d, sc.Matcher)
+			ecl, err := run("eclipse-based", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			epp, err := baseline.EclipseBasedPlusPlus(g, load, sc.Window, d, sc.Matcher)
+			epp, err := run("eclipse-pp", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			return []float64{oct.delivered * 100, ecl.delivered * 100, 100 * epp.DeliveredFraction()}, nil
+			return []float64{oct.delivered * 100, ecl.delivered * 100, epp.delivered * 100}, nil
 		})
 		if err != nil {
 			return nil, err
@@ -317,34 +317,27 @@ func ExtAdaptive(sc Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			oct, err := runOctopus(g, load, core.Options{Window: sc.Window, Delta: d, Matcher: sc.Matcher})
+			ap := sc.params()
+			ap.Delta = d
+			oct, err := run("octopus", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			var arr []online.Arrival
-			for _, f := range load.Flows {
-				arr = append(arr, online.Arrival{Flow: f, At: 0})
-			}
-			hold := 10 * d
-			if hold == 0 {
-				hold = 10
-			}
-			mw, err := online.MaxWeightAdaptive(g, arr, online.AdaptiveOptions{
-				Horizon: sc.Window, Delta: d, Hold: hold,
-			})
+			// Hold 0 selects the online package default of 10·Δ.
+			mw, err := run("maxweight", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			hys, err := online.MaxWeightAdaptive(g, arr, online.AdaptiveOptions{
-				Horizon: sc.Window, Delta: d, Hold: hold, Hysteresis64: 96,
-			})
+			apH := ap
+			apH.Hysteresis64 = 96
+			hys, err := run("maxweight", g, load, apH)
 			if err != nil {
 				return nil, err
 			}
 			return []float64{
 				oct.delivered * 100,
-				100 * mw.DeliveredFraction(),
-				100 * hys.DeliveredFraction(),
+				mw.delivered * 100,
+				hys.delivered * 100,
 			}, nil
 		})
 		if err != nil {
@@ -375,13 +368,15 @@ func ExtEpsilon(sc Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			oct, err := runOctopus(g, load, core.Options{
-				Window: sc.Window, Delta: sc.Delta, Matcher: sc.Matcher, Epsilon64: eps,
-			})
+			// Plain octopus honors Epsilon64 directly, so eps=0 stays the
+			// no-bonus baseline (octopus-e would default 0 to 4).
+			ap := sc.params()
+			ap.Epsilon64 = eps
+			oct, err := run("octopus", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			ub, err := runUB(g, load, sc.Window, sc.Delta, sc.Matcher)
+			ub, err := run("ub", g, load, ap)
 			if err != nil {
 				return nil, err
 			}

@@ -40,16 +40,17 @@ func runComparison(sc Scale, c sweepCase, metric int) point {
 		if err != nil {
 			return nil, err
 		}
-		opt := core.Options{Window: c.window, Delta: c.delta, Matcher: sc.Matcher}
-		oct, err := runOctopus(g, load, opt)
+		ap := sc.params()
+		ap.Window, ap.Delta = c.window, c.delta
+		oct, err := run("octopus", g, load, ap)
 		if err != nil {
 			return nil, err
 		}
-		ecl, err := runEclipseBased(g, load, c.window, c.delta, sc.Matcher)
+		ecl, err := run("eclipse-based", g, load, ap)
 		if err != nil {
 			return nil, err
 		}
-		ub, err := runUB(g, load, c.window, c.delta, sc.Matcher)
+		ub, err := run("ub", g, load, ap)
 		if err != nil {
 			return nil, err
 		}
@@ -221,16 +222,16 @@ func Fig6(sc Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			opt := core.Options{Window: sc.Window, Delta: sc.Delta, Matcher: sc.Matcher}
-			oct, err := runOctopus(g, load, opt)
+			ap := sc.params()
+			oct, err := run("octopus", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			ecl, err := runEclipseBased(g, load, sc.Window, sc.Delta, sc.Matcher)
+			ecl, err := run("eclipse-based", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			ub, err := runUB(g, load, sc.Window, sc.Delta, sc.Matcher)
+			ub, err := run("ub", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
@@ -269,18 +270,17 @@ func Fig7b(sc Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			opt := core.Options{Window: sc.Window, Delta: sc.Delta, Matcher: sc.Matcher}
-			oct, err := runOctopus(g, load, opt)
+			ap := sc.params()
+			oct, err := run("octopus", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			optE := opt
-			optE.Epsilon64 = 4 // ε = 1/16: small bonus for later hops
-			octE, err := runOctopus(g, load, optE)
+			// octopus-e defaults the later-hop bonus to eps64=4 (ε = 1/16).
+			octE, err := run("octopus-e", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			ub, err := runUB(g, load, sc.Window, sc.Delta, sc.Matcher)
+			ub, err := run("ub", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
@@ -310,12 +310,13 @@ func Fig8(sc Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			opt := core.Options{Window: sc.Window, Delta: d, Matcher: sc.Matcher}
-			oct, err := runOctopus(g, load, opt)
+			ap := sc.params()
+			ap.Delta = d
+			oct, err := run("octopus", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			rot, err := runRotorNet(g, load, sc.Window, d)
+			rot, err := run("rotornet", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
@@ -345,14 +346,13 @@ func Fig9a(sc Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			opt := core.Options{Window: sc.Window, Delta: d, Matcher: sc.Matcher}
-			oct, err := runOctopus(g, load, opt)
+			ap := sc.params()
+			ap.Delta = d
+			oct, err := run("octopus", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			optB := opt
-			optB.AlphaSearch = core.AlphaBinary
-			octB, err := runOctopus(g, load, optB)
+			octB, err := run("octopus-b", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
@@ -385,21 +385,17 @@ func Fig9b(sc Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			plus, err := runOctopusPlan(g, load, core.Options{
-				Window: sc.Window, Delta: d, Matcher: sc.Matcher, MultiRoute: true,
-			})
+			ap := sc.params()
+			ap.Delta = d
+			plus, err := run("octopus-plus", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			// Octopus-random: resolve one random route per flow.
-			resolved := load.Clone()
-			for fi := range resolved.Flows {
-				f := &resolved.Flows[fi]
-				f.Routes = []traffic.Route{f.Routes[rng.Intn(len(f.Routes))]}
-			}
-			rnd, err := runOctopus(g, resolved, core.Options{
-				Window: sc.Window, Delta: d, Matcher: sc.Matcher,
-			})
+			// Octopus-random pins one random route per flow from the shared
+			// instance stream.
+			apR := ap
+			apR.Rng = rng
+			rnd, err := run("octopus-random", g, load, apR)
 			if err != nil {
 				return nil, err
 			}
@@ -480,11 +476,13 @@ func Fig10b(sc Scale) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			oct, err := runOctopus(g, load, core.Options{Window: sc.Window, Delta: d, Matcher: core.MatcherExact})
+			ap := sc.params()
+			ap.Delta, ap.Matcher = d, core.MatcherExact
+			oct, err := run("octopus", g, load, ap)
 			if err != nil {
 				return nil, err
 			}
-			gre, err := runOctopus(g, load, core.Options{Window: sc.Window, Delta: d, Matcher: core.MatcherGreedy})
+			gre, err := run("octopus-g", g, load, ap)
 			if err != nil {
 				return nil, err
 			}

@@ -27,7 +27,12 @@ import (
 type AdaptiveOptions struct {
 	Horizon int // total slots to run
 	Delta   int // reconfiguration delay in slots
-	Hold    int // slots to hold each matching before reconsidering
+
+	// Hold is how many slots each matching is held before the controller
+	// reconsiders. 0 selects the default of 10·Delta (10 when Delta is 0):
+	// long enough to amortize the reconfiguration delay, short enough to
+	// track the draining backlog. Negative is an error.
+	Hold int
 
 	// Hysteresis64 suppresses a reconfiguration unless the best
 	// matching's backlog weight exceeds (Hysteresis64/64)× the current
@@ -68,11 +73,17 @@ func MaxWeightAdaptive(g *graph.Digraph, arrivals []Arrival, opt AdaptiveOptions
 	if opt.Horizon <= 0 {
 		return nil, errors.New("online: Horizon must be positive")
 	}
-	if opt.Hold <= 0 {
-		return nil, errors.New("online: Hold must be positive")
+	if opt.Hold < 0 {
+		return nil, errors.New("online: Hold must not be negative")
 	}
 	if opt.Delta < 0 || opt.Hysteresis64 < 0 {
 		return nil, errors.New("online: negative Delta or Hysteresis64")
+	}
+	if opt.Hold == 0 {
+		opt.Hold = 10 * opt.Delta
+		if opt.Hold == 0 {
+			opt.Hold = 10
+		}
 	}
 	queue := append([]Arrival(nil), arrivals...)
 	sort.SliceStable(queue, func(i, j int) bool { return queue[i].At < queue[j].At })

@@ -121,7 +121,7 @@ func TestMaxWeightAdaptiveValidation(t *testing.T) {
 	}}
 	bad := []AdaptiveOptions{
 		{Horizon: 0, Hold: 5},
-		{Horizon: 100, Hold: 0},
+		{Horizon: 100, Hold: -1},
 		{Horizon: 100, Hold: 5, Delta: -1},
 		{Horizon: 100, Hold: 5, Hysteresis64: -2},
 	}
@@ -134,6 +134,29 @@ func TestMaxWeightAdaptiveValidation(t *testing.T) {
 	neg[0].At = -1
 	if _, err := MaxWeightAdaptive(g, neg, AdaptiveOptions{Horizon: 10, Hold: 2}); err == nil {
 		t.Fatal("negative arrival accepted")
+	}
+}
+
+func TestMaxWeightAdaptiveHoldDefault(t *testing.T) {
+	// Hold 0 selects the library default of 10·Δ (10 when Δ is 0): the run
+	// must behave exactly like an explicit hold of that length.
+	g := graph.Complete(3)
+	arr := []Arrival{{
+		Flow: traffic.Flow{ID: 1, Size: 20, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+		At:   0,
+	}}
+	for _, tc := range []struct{ delta, want int }{{5, 50}, {0, 10}} {
+		def, err := MaxWeightAdaptive(g, arr, AdaptiveOptions{Horizon: 100, Delta: tc.delta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		explicit, err := MaxWeightAdaptive(g, arr, AdaptiveOptions{Horizon: 100, Delta: tc.delta, Hold: tc.want})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *def != *explicit {
+			t.Fatalf("delta %d: default-hold run %+v != explicit hold %d run %+v", tc.delta, def, tc.want, explicit)
+		}
 	}
 }
 

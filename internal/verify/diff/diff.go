@@ -1,267 +1,92 @@
 // Package diff is the differential verification harness: it runs every
-// scheduling algorithm in the repository — the six core Octopus variants
-// and the five baselines — over shared random instances and funnels each
-// produced schedule through verify.Schedule, with the scheduler's own
-// claimed metrics attached. A scheduler whose bookkeeping drifts from the
-// independently replayed truth, or whose schedule violates any MHS
-// feasibility invariant, fails here regardless of what its own tests say.
+// algorithm in the internal/algo registry — the Octopus core variants, the
+// baselines, and the schedule-free maxweight/hybrid/UB entries — over
+// shared random instances and funnels each outcome through its
+// verification recipe (verify.Schedule with the scheduler's own claimed
+// metrics attached, or the schedule-free invariants). A scheduler whose
+// bookkeeping drifts from the independently replayed truth, or whose
+// schedule violates any MHS feasibility invariant, fails here regardless
+// of what its own tests say.
+//
+// The roster is derived from algo.Registry(), so a newly registered
+// algorithm is differentially tested by construction — there is no list
+// here to forget to update.
 //
 // The package lives below internal/verify so scheduler packages never
-// import it (it imports them), keeping verify itself cycle-free.
+// import it (it imports them through internal/algo), keeping verify itself
+// cycle-free.
 package diff
 
 import (
 	"bytes"
 	"fmt"
 
-	"octopus/internal/baseline"
-	"octopus/internal/core"
-	"octopus/internal/graph"
-	"octopus/internal/schedule"
-	"octopus/internal/traffic"
+	"octopus/internal/algo"
 	"octopus/internal/verify"
 )
 
-// Outcome is one algorithm's output on one instance, packaged with
-// everything verify.Schedule needs to judge it.
+// Outcome is one algorithm's registry outcome on one instance, with the
+// harness's checking and fingerprinting attached.
 type Outcome struct {
-	// Fabric and Load are what the schedule is validated against; they may
-	// differ from the instance's (RotorNet schedules over the complete
-	// fabric, Eclipse schedules the one-hop decomposition).
-	Fabric *graph.Digraph
-	Load   *traffic.Load
-
-	Schedule *schedule.Schedule
-	Opt      verify.Options
-
-	// Extra, when set, checks algorithm-specific invariants beyond schedule
-	// validity (e.g. core.Result.VerifyPlan for Octopus+).
-	Extra func() error
+	*algo.Outcome
 }
 
-// Check validates the outcome and returns the independent replay report.
+// Check validates the outcome — verify.Schedule plus the algorithm's Extra
+// invariants for schedule-producing algorithms, the basic metric
+// invariants for schedule-free ones — and returns the replay report.
 func (o *Outcome) Check() (*verify.Report, error) {
-	rep, err := verify.Schedule(o.Fabric, o.Load, o.Schedule, o.Opt)
-	if err != nil {
-		return nil, err
-	}
-	if o.Extra != nil {
-		if err := o.Extra(); err != nil {
-			return nil, err
-		}
-	}
-	return rep, nil
+	return o.Outcome.Verify()
 }
 
 // Fingerprint is a deterministic rendering of the outcome (schedule bytes
-// plus claimed metrics), used to assert run-to-run determinism.
+// plus claimed and reported metrics), used to assert run-to-run
+// determinism.
 func (o *Outcome) Fingerprint() (string, error) {
 	var buf bytes.Buffer
-	if err := o.Schedule.WriteJSON(&buf); err != nil {
-		return "", err
+	if o.Schedule != nil {
+		if err := o.Schedule.WriteJSON(&buf); err != nil {
+			return "", err
+		}
 	}
-	if c := o.Opt.Claim; c != nil {
+	if c := o.VerifyOpt.Claim; c != nil {
 		fmt.Fprintf(&buf, "claim:%d,%d,%d", c.Delivered, c.Hops, c.Psi)
 	}
+	fmt.Fprintf(&buf, "metrics:%d,%d,%d,%d", o.Delivered, o.Total, o.Hops, o.Psi)
 	return buf.String(), nil
 }
 
 // Runner is one algorithm under differential test.
 type Runner struct {
 	Name string
-	// Core marks the six internal/core variants (used by the Theorem 1 and
+	// Core marks the internal/core variants (used by the Theorem 1 and
 	// variant-gap comparisons).
 	Core bool
 	Run  func(in *verify.Instance) (*Outcome, error)
 }
 
-// claim converts a core plan result into an exact verify claim.
-func claim(res *core.Result) *verify.Claim {
-	return &verify.Claim{Delivered: res.Delivered, Hops: res.Hops, Psi: res.Psi}
-}
-
-// runCore runs one core scheduler variant and packages the outcome with an
-// exact claim: for every single-route-planning variant the plan bookkeeping
-// must equal the independent bulk replay packet for packet.
-func runCore(in *verify.Instance, opt core.Options) (*Outcome, *core.Result, error) {
-	opt.Window, opt.Delta = in.Window, in.Delta
-	s, err := core.New(in.G, in.Load, opt)
-	if err != nil {
-		return nil, nil, err
-	}
-	res, err := s.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	out := &Outcome{
-		Fabric:   in.G,
-		Load:     in.Load,
-		Schedule: res.Schedule,
-		Opt: verify.Options{
-			Window:    in.Window,
-			Epsilon64: opt.Epsilon64,
-			Claim:     claim(res),
-		},
-	}
-	return out, res, nil
-}
-
-// Runners returns the full algorithm roster: the six core variants and the
-// five baselines of the paper's §8 comparison.
+// Runners derives the full roster from the algorithm registry.
 func Runners() []Runner {
-	return []Runner{
-		{Name: "octopus", Core: true, Run: func(in *verify.Instance) (*Outcome, error) {
-			out, _, err := runCore(in, core.Options{})
-			return out, err
-		}},
-		{Name: "octopus-b", Core: true, Run: func(in *verify.Instance) (*Outcome, error) {
-			out, _, err := runCore(in, core.Options{AlphaSearch: core.AlphaBinary})
-			return out, err
-		}},
-		{Name: "octopus-g", Core: true, Run: func(in *verify.Instance) (*Outcome, error) {
-			out, _, err := runCore(in, core.Options{Matcher: core.MatcherGreedy})
-			return out, err
-		}},
-		{Name: "octopus-e", Core: true, Run: func(in *verify.Instance) (*Outcome, error) {
-			out, _, err := runCore(in, core.Options{Epsilon64: 8})
-			return out, err
-		}},
-		{Name: "chained", Core: true, Run: func(in *verify.Instance) (*Outcome, error) {
-			// The chained variant plans with multi-hop benefit but its
-			// bookkeeping still advances one hop per configuration, so the
-			// claim is exact under bulk replay. The multi-hop replay the
-			// schedule is designed for is validated too, but without a bound:
-			// chained arrivals compete with resident packets for the same
-			// per-link capacity, so per-instance delivery may land on either
-			// side of the one-hop plan.
-			out, res, err := runCore(in, core.Options{MultiHop: true})
-			if err != nil {
-				return nil, err
-			}
-			out.Extra = func() error {
-				_, err := verify.Schedule(in.G, in.Load, res.Schedule, verify.Options{
-					Window:   in.Window,
-					MultiHop: true,
+	var rs []Runner
+	for _, a := range algo.Registry() {
+		a := a
+		rs = append(rs, Runner{
+			Name: a.Name(),
+			Core: algo.IsCore(a),
+			Run: func(in *verify.Instance) (*Outcome, error) {
+				out, err := a.Run(in.G, in.Load, algo.Params{
+					Window: in.Window,
+					Delta:  in.Delta,
+					// KeepTrace arms Octopus+'s VerifyPlan audit (the other
+					// algorithms ignore it). Seed stays 0 so repeated runs of
+					// octopus-random draw identical routes.
+					KeepTrace: true,
 				})
-				return err
-			}
-			return out, nil
-		}},
-		{Name: "octopus-plus", Core: true, Run: func(in *verify.Instance) (*Outcome, error) {
-			// Octopus+ backtracking revises the plan in ways a forward replay
-			// cannot reproduce, so no replay claim: the schedule is validated
-			// structurally and the plan's own movement records are audited by
-			// VerifyPlan instead.
-			s, err := core.New(in.G, in.Load, core.Options{
-				Window: in.Window, Delta: in.Delta,
-				MultiRoute: true, KeepTrace: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := s.Run()
-			if err != nil {
-				return nil, err
-			}
-			return &Outcome{
-				Fabric:   in.G,
-				Load:     in.Load,
-				Schedule: res.Schedule,
-				Opt:      verify.Options{Window: in.Window},
-				Extra:    res.VerifyPlan,
-			}, nil
-		}},
-		{Name: "eclipse", Run: func(in *verify.Instance) (*Outcome, error) {
-			// Eclipse schedules the one-hop decomposition; its plan claim is
-			// exact for that load.
-			oh := baseline.OneHopLoad(in.Load, false)
-			_, res, err := baseline.Eclipse(in.G, oh.Load, in.Window, in.Delta, core.MatcherExact)
-			if err != nil {
-				return nil, err
-			}
-			return &Outcome{
-				Fabric:   in.G,
-				Load:     oh.Load,
-				Schedule: res.Schedule,
-				Opt:      verify.Options{Window: in.Window, Claim: claim(res)},
-			}, nil
-		}},
-		{Name: "eclipse-based", Run: func(in *verify.Instance) (*Outcome, error) {
-			// The claim comes from simulate.Run, so this differentially tests
-			// the simulator against the verify replay implementation.
-			sim, sch, err := baseline.EclipseBased(in.G, in.Load, in.Window, in.Delta, core.MatcherExact)
-			if err != nil {
-				return nil, err
-			}
-			return &Outcome{
-				Fabric:   in.G,
-				Load:     in.Load,
-				Schedule: sch,
-				Opt: verify.Options{
-					Window: in.Window,
-					Claim:  &verify.Claim{Delivered: sim.Delivered, Hops: sim.Hops, Psi: sim.Psi},
-				},
-			}, nil
-		}},
-		{Name: "eclipse-pp", Run: func(in *verify.Instance) (*Outcome, error) {
-			// Eclipse++ routes off the declared routes by design, so only the
-			// schedule itself is validated; its accounting gets sanity bounds.
-			oh := baseline.OneHopLoad(in.Load, false)
-			_, res, err := baseline.Eclipse(in.G, oh.Load, in.Window, in.Delta, core.MatcherExact)
-			if err != nil {
-				return nil, err
-			}
-			epp, err := baseline.EclipsePlusPlus(in.G, in.Load, res.Schedule, in.Window)
-			if err != nil {
-				return nil, err
-			}
-			return &Outcome{
-				Fabric:   in.G,
-				Load:     in.Load,
-				Schedule: res.Schedule,
-				Opt:      verify.Options{Window: in.Window},
-				Extra: func() error {
-					if epp.Delivered > epp.TotalPackets {
-						return fmt.Errorf("eclipse++ delivered %d of %d packets", epp.Delivered, epp.TotalPackets)
-					}
-					if int64(epp.Hops) > epp.ActiveLinkSlots {
-						return fmt.Errorf("eclipse++ served %d hops over %d link-slots", epp.Hops, epp.ActiveLinkSlots)
-					}
-					return nil
-				},
-			}, nil
-		}},
-		{Name: "solstice", Run: func(in *verify.Instance) (*Outcome, error) {
-			sim, sch, err := baseline.SolsticeBased(in.G, in.Load, in.Window, in.Delta)
-			if err != nil {
-				return nil, err
-			}
-			return &Outcome{
-				Fabric:   in.G,
-				Load:     in.Load,
-				Schedule: sch,
-				Opt: verify.Options{
-					Window: in.Window,
-					Claim:  &verify.Claim{Delivered: sim.Delivered, Hops: sim.Hops, Psi: sim.Psi},
-				},
-			}, nil
-		}},
-		{Name: "rotornet", Run: func(in *verify.Instance) (*Outcome, error) {
-			// RotorNet assumes the complete fabric; validate its schedule
-			// against Complete(n), like its own replay does.
-			sim, sch, err := baseline.RotorNet(in.G, in.Load, in.Window, in.Delta, 0)
-			if err != nil {
-				return nil, err
-			}
-			return &Outcome{
-				Fabric:   graph.Complete(in.G.N()),
-				Load:     in.Load,
-				Schedule: sch,
-				Opt: verify.Options{
-					Window: in.Window,
-					Claim:  &verify.Claim{Delivered: sim.Delivered, Hops: sim.Hops, Psi: sim.Psi},
-				},
-			}, nil
-		}},
+				if err != nil {
+					return nil, err
+				}
+				return &Outcome{Outcome: out}, nil
+			},
+		})
 	}
+	return rs
 }

@@ -5,7 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"octopus/internal/core"
+	"octopus/internal/algo"
 	"octopus/internal/verify"
 )
 
@@ -139,25 +139,26 @@ func TestTheorem1AgainstBruteForce(t *testing.T) {
 }
 
 // TestRunnersCoverRoster guards the differential suite's coverage claim:
-// six core variants plus five baselines.
+// the roster is exactly the algorithm registry, in order, with the Core
+// flag matching the registry's own classification. A new algorithm cannot
+// be registered without landing under differential test.
 func TestRunnersCoverRoster(t *testing.T) {
 	runners := Runners()
-	coreN, baseN := 0, 0
+	reg := algo.Registry()
+	if len(runners) != len(reg) {
+		t.Fatalf("roster has %d runners, registry has %d algorithms", len(runners), len(reg))
+	}
 	seen := map[string]bool{}
-	for _, r := range runners {
+	for i, r := range runners {
 		if seen[r.Name] {
 			t.Fatalf("duplicate runner %q", r.Name)
 		}
 		seen[r.Name] = true
-		if r.Core {
-			coreN++
-		} else {
-			baseN++
+		if r.Name != reg[i].Name() {
+			t.Errorf("runner %d is %q, registry lists %q", i, r.Name, reg[i].Name())
+		}
+		if r.Core != algo.IsCore(reg[i]) {
+			t.Errorf("runner %q: Core=%v, registry says %v", r.Name, r.Core, algo.IsCore(reg[i]))
 		}
 	}
-	if coreN != 6 || baseN != 5 {
-		t.Fatalf("roster has %d core + %d baseline runners, want 6 + 5", coreN, baseN)
-	}
-	// Interface check: the core package is linked for claim conversion.
-	var _ = core.MatcherExact
 }

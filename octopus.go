@@ -33,6 +33,7 @@ package octopus
 import (
 	"math/rand"
 
+	"octopus/internal/algo"
 	"octopus/internal/baseline"
 	"octopus/internal/core"
 	"octopus/internal/graph"
@@ -252,4 +253,43 @@ type (
 // fixed hold durations and optional reconfiguration hysteresis.
 func MaxWeightAdaptive(g *Network, arrivals []Arrival, opt AdaptiveOptions) (*AdaptiveResult, error) {
 	return online.MaxWeightAdaptive(g, arrivals, opt)
+}
+
+// The algorithm registry: every scheduler, baseline, and bound behind one
+// uniform interface (see DESIGN.md §10). The specialized entry points above
+// remain for callers who want a variant's native result type; the registry
+// is the uniform comparison pipeline the CLIs, experiments, and the
+// differential harness run on.
+type (
+	// Algorithm is one registered algorithm: a name, a one-line
+	// description, a kind (offline / online / bound), and a uniform Run.
+	Algorithm = algo.Algorithm
+	// AlgoKind classifies an algorithm (offline schedule producer, online
+	// policy, or analytic bound).
+	AlgoKind = algo.Kind
+	// AlgoParams is the shared parameter set accepted by every registered
+	// algorithm; each consumes the fields it understands.
+	AlgoParams = algo.Params
+	// AlgoOutcome is the uniform, verify-ready result of a registry run.
+	AlgoOutcome = algo.Outcome
+)
+
+// Algorithms returns every registered algorithm in canonical order.
+func Algorithms() []Algorithm { return algo.Registry() }
+
+// AlgorithmNames returns the registered algorithm names in canonical order.
+func AlgorithmNames() []string { return algo.Names() }
+
+// LookupAlgorithm finds a registered algorithm by name.
+func LookupAlgorithm(name string) (Algorithm, bool) { return algo.Lookup(name) }
+
+// RunAlgorithm parses a "name[:key=value,...]" spec (e.g.
+// "octopus-e:eps64=8" or "maxweight:hold=50"), overlays the spec options on
+// base, and runs the algorithm on the instance (g, load).
+func RunAlgorithm(spec string, g *Network, load *Load, base AlgoParams) (*AlgoOutcome, error) {
+	a, p, err := algo.ParseSpec(spec, base)
+	if err != nil {
+		return nil, err
+	}
+	return a.Run(g, load, p)
 }

@@ -201,3 +201,42 @@ func TestPublicAPIPartialFabric(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPublicAPIAlgorithmRegistry(t *testing.T) {
+	names := AlgorithmNames()
+	algos := Algorithms()
+	if len(names) == 0 || len(names) != len(algos) {
+		t.Fatalf("%d names, %d algorithms", len(names), len(algos))
+	}
+	for i, a := range algos {
+		if a.Name() != names[i] {
+			t.Fatalf("Algorithms()[%d] = %q, AlgorithmNames()[%d] = %q", i, a.Name(), i, names[i])
+		}
+	}
+	if _, ok := LookupAlgorithm("octopus"); !ok {
+		t.Fatal("octopus not registered")
+	}
+	if _, ok := LookupAlgorithm("bogus"); ok {
+		t.Fatal("LookupAlgorithm accepted an unknown name")
+	}
+
+	g := Complete(8)
+	rng := rand.New(rand.NewSource(3))
+	load, err := Synthetic(g, DefaultSyntheticParams(8, 200), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunAlgorithm("octopus-e:eps64=8", g, load, AlgoParams{Window: 200, Delta: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Algo != "octopus-e" || out.Schedule == nil || out.Delivered <= 0 {
+		t.Fatalf("outcome %+v", out)
+	}
+	if _, err := out.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAlgorithm("octopus:color=red", g, load, AlgoParams{Window: 200}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
