@@ -1,0 +1,178 @@
+// Benchmark mode (-json): instead of regenerating figures, time full
+// scheduler runs per algorithm × network size and emit the measurements as
+// machine-readable JSON. The schema is versioned and append-only so
+// BENCH_*.json files recorded at different commits stay comparable: a
+// trajectory of these files tracks the scheduler's performance over the
+// life of the repository.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"octopus/internal/algo"
+	"octopus/internal/core"
+	"octopus/internal/experiment"
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+)
+
+// benchSchema identifies the JSON layout. Bump only when a field changes
+// meaning; adding fields keeps the version.
+const benchSchema = "mhsbench-bench/v1"
+
+// benchResult is one (algorithm, network size) measurement. Per-op values
+// are for one full scheduling run (plan the whole window); ns_per_op is
+// the minimum over reps, and allocs/bytes come from the same best rep.
+type benchResult struct {
+	Algo           string  `json:"algo"`
+	Nodes          int     `json:"nodes"`
+	Window         int     `json:"window"`
+	Delta          int     `json:"delta"`
+	Matcher        string  `json:"matcher"`
+	Reps           int     `json:"reps"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	AllocsPerOp    uint64  `json:"allocs_per_op"`
+	BytesPerOp     uint64  `json:"bytes_per_op"`
+	PsiPerOp       int64   `json:"psi_per_op"`
+	DeliveredPerOp int     `json:"delivered_per_op"`
+	BaselineNs     int64   `json:"baseline_ns_per_op,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+}
+
+// benchFile is the top-level -json document.
+type benchFile struct {
+	Schema  string        `json:"schema"`
+	Scale   string        `json:"scale"`
+	Seed    int64         `json:"seed"`
+	Results []benchResult `json:"results"`
+}
+
+func matcherName(m core.Matcher) string {
+	if m == core.MatcherGreedy {
+		return "greedy"
+	}
+	return "exact"
+}
+
+// runBench times full runs of the requested algorithms at each node count
+// and writes the JSON document to path ('-' for stdout). When baselinePath
+// names a previous -json output, matching entries gain baseline_ns_per_op
+// and speedup fields and a human-readable comparison goes to stderr.
+func runBench(sc experiment.Scale, algoList string, nodeList []int, reps int, path, baselinePath string) error {
+	if reps < 1 {
+		reps = 1
+	}
+	if len(nodeList) == 0 {
+		nodeList = []int{sc.Nodes}
+	}
+	var names []string
+	for _, s := range strings.Split(algoList, ",") {
+		names = append(names, strings.TrimSpace(s))
+	}
+	doc := benchFile{Schema: benchSchema, Scale: sc.Name, Seed: sc.Seed}
+	for _, name := range names {
+		a, ok := algo.Lookup(name)
+		if !ok {
+			return fmt.Errorf("unknown algorithm %q (see -fig table for the roster)", name)
+		}
+		for _, n := range nodeList {
+			r, err := benchOne(a, n, sc, reps)
+			if err != nil {
+				return fmt.Errorf("%s n=%d: %v", name, n, err)
+			}
+			doc.Results = append(doc.Results, r)
+			fmt.Fprintf(os.Stderr, "bench %-16s n=%-4d %10.3fms/op  %8d allocs/op  psi=%d\n",
+				name, n, float64(r.NsPerOp)/1e6, r.AllocsPerOp, r.PsiPerOp)
+		}
+	}
+	if baselinePath != "" {
+		if err := annotateBaseline(&doc, baselinePath); err != nil {
+			return err
+		}
+	}
+	out, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// benchOne runs one algorithm at one size reps times on the same instance
+// and keeps the fastest rep. The load is regenerated per size from the
+// scale seed, so two mhsbench builds measure identical work.
+func benchOne(a algo.Algorithm, n int, sc experiment.Scale, reps int) (benchResult, error) {
+	g := graph.Complete(n)
+	rng := rand.New(rand.NewSource(sc.Seed))
+	load, err := traffic.Synthetic(g, traffic.DefaultSyntheticParams(n, sc.Window), rng)
+	if err != nil {
+		return benchResult{}, err
+	}
+	p := algo.Params{Window: sc.Window, Delta: sc.Delta, Matcher: sc.Matcher, Seed: sc.Seed}
+	res := benchResult{
+		Algo: a.Name(), Nodes: n, Window: sc.Window, Delta: sc.Delta,
+		Matcher: matcherName(sc.Matcher), Reps: reps,
+	}
+	var m0, m1 runtime.MemStats
+	for rep := 0; rep < reps; rep++ {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		out, err := a.Run(g, load, p)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if err != nil {
+			return benchResult{}, err
+		}
+		if rep == 0 || elapsed.Nanoseconds() < res.NsPerOp {
+			res.NsPerOp = elapsed.Nanoseconds()
+			res.AllocsPerOp = m1.Mallocs - m0.Mallocs
+			res.BytesPerOp = m1.TotalAlloc - m0.TotalAlloc
+		}
+		res.PsiPerOp = out.Psi
+		res.DeliveredPerOp = out.Delivered
+	}
+	return res, nil
+}
+
+// annotateBaseline joins a previous bench document on
+// (algo, nodes, window, delta, matcher) and records the speedup.
+func annotateBaseline(doc *benchFile, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %v", path, err)
+	}
+	if !strings.HasPrefix(base.Schema, "mhsbench-bench/") {
+		return fmt.Errorf("baseline %s: unrecognized schema %q", path, base.Schema)
+	}
+	for i := range doc.Results {
+		r := &doc.Results[i]
+		for _, b := range base.Results {
+			if b.Algo == r.Algo && b.Nodes == r.Nodes && b.Window == r.Window &&
+				b.Delta == r.Delta && b.Matcher == r.Matcher {
+				r.BaselineNs = b.NsPerOp
+				if r.NsPerOp > 0 {
+					r.Speedup = float64(b.NsPerOp) / float64(r.NsPerOp)
+				}
+				fmt.Fprintf(os.Stderr, "bench %-16s n=%-4d %.2fx vs baseline (%.3fms -> %.3fms)\n",
+					r.Algo, r.Nodes, r.Speedup, float64(b.NsPerOp)/1e6, float64(r.NsPerOp)/1e6)
+				break
+			}
+		}
+	}
+	return nil
+}

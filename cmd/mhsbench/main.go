@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"octopus/internal/algo"
@@ -40,8 +42,40 @@ func main() {
 		nodeSweep = flag.String("node-sweep", "", "override Fig4a/5a node sweep (comma-separated)")
 		deltaSw   = flag.String("delta-sweep", "", "override reconfiguration-delay sweep (comma-separated)")
 		timeNodes = flag.String("time-nodes", "", "override Fig10 network-size sweep (comma-separated)")
+
+		jsonOut    = flag.String("json", "", "benchmark mode: write timing/allocation JSON to this file ('-' for stdout) instead of running figures")
+		benchAlgos = flag.String("bench-algos", "octopus,octopus-g", "algorithms to time in -json mode (comma-separated registry names)")
+		benchNodes = flag.String("bench-nodes", "", "node counts to time in -json mode (comma-separated; default: the scale's n)")
+		benchReps  = flag.Int("bench-reps", 3, "repetitions per point in -json mode (fastest rep is reported)")
+		baseline   = flag.String("baseline", "", "previous -json output; annotates results with per-point speedups")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	var sc experiment.Scale
 	switch *scaleName {
@@ -85,6 +119,17 @@ func main() {
 	}
 	if *timeNodes != "" {
 		sc.TimeNodeSweep = parseInts(*timeNodes)
+	}
+
+	if *jsonOut != "" {
+		var nodesList []int
+		if *benchNodes != "" {
+			nodesList = parseInts(*benchNodes)
+		}
+		if err := runBench(sc, *benchAlgos, nodesList, *benchReps, *jsonOut, *baseline); err != nil {
+			fatalf("bench: %v", err)
+		}
+		return
 	}
 
 	var ids []string

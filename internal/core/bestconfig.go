@@ -2,12 +2,26 @@ package core
 
 import (
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"octopus/internal/graph"
 	"octopus/internal/matching"
 )
+
+// evalScratch is the reusable per-worker scratch of the parallel α
+// evaluation: the weighted-edge buffer, the row/column upper-bound arrays
+// (slice-backed, keyed by node index), and the matching arena. One scratch
+// belongs to exactly one worker for the duration of a parallelFor, so no
+// synchronization is needed, and the greedy loop stops allocating on its
+// hot path after the first iteration.
+type evalScratch struct {
+	we       []matching.Edge
+	row, col []int64 // length fabric.N(), all-zero between rowColUB calls
+	arena    matching.Arena
+}
 
 // best tracks the highest benefit-per-unit-cost configuration seen so far
 // during one greedy iteration.
@@ -78,25 +92,32 @@ func (s *Scheduler) bestConfiguration(maxAlpha int) ([]graph.Edge, int, int64) {
 		return bst.links, bst.alpha, bst.benefit
 	}
 
-	evals := make([]alphaEval, len(alphas))
+	if cap(s.evals) < len(alphas) {
+		s.evals = make([]alphaEval, len(alphas))
+	}
+	evals := s.evals[:len(alphas)]
+	for i := range evals {
+		evals[i] = alphaEval{}
+	}
 	exactBipartite := s.ufabric == nil && !s.opt.MultiHop && s.opt.Ports == 1 && s.opt.Matcher == MatcherExact
 
 	// Phase 1: cheap evaluation of every α.
-	s.parallelFor(len(alphas), func(i int) {
+	s.parallelFor(len(alphas), func(w, i int) {
+		sc := s.scratch[w]
 		a := alphas[i]
 		if exactBipartite {
-			we := s.weightedEdges(a)
+			we := s.weightedEdges(sc, a)
 			if len(we) == 0 {
 				return
 			}
-			m, w := matching.GreedyBipartite(s.fabric.N(), we)
+			m, gw := sc.arena.GreedyBipartite(s.fabric.N(), we)
 			evals[i].greedyLinks = toLinks(m)
-			evals[i].greedyW = w
-			evals[i].ub = rowColUB(we)
+			evals[i].greedyW = gw
+			evals[i].ub = rowColUB(we, sc.row, sc.col)
 			return
 		}
 		local := &best{delta: s.opt.Delta}
-		s.evalAlpha(a, local)
+		s.evalAlpha(sc, a, local)
 		evals[i].links = local.links
 		evals[i].w = local.benefit
 	})
@@ -119,14 +140,15 @@ func (s *Scheduler) bestConfiguration(maxAlpha int) ([]graph.Edge, int, int64) {
 	// is deterministic. An exact matching skipped here satisfies
 	// exact(α) <= ub(α) <= seed ratio, so it can never be the unique
 	// argmax.
-	s.parallelFor(len(alphas), func(i int) {
+	s.parallelFor(len(alphas), func(w, i int) {
 		if !seed.beats(evals[i].ub, alphas[i]) {
 			return
 		}
-		we := s.weightedEdges(alphas[i])
-		m, w := matching.MaxWeightBipartite(s.fabric.N(), we)
+		sc := s.scratch[w]
+		we := s.weightedEdges(sc, alphas[i])
+		m, mw := sc.arena.MaxWeightBipartite(s.fabric.N(), we)
 		evals[i].exactLinks = toLinks(m)
-		evals[i].exactW = w
+		evals[i].exactW = mw
 	})
 	// Final reduction mirrors the sequential order: for each α ascending,
 	// greedy first, then the exact matching if computed.
@@ -137,10 +159,13 @@ func (s *Scheduler) bestConfiguration(maxAlpha int) ([]graph.Edge, int, int64) {
 	return bst.links, bst.alpha, bst.benefit
 }
 
-// parallelFor runs f(0..n-1) across Options.Parallelism workers
-// (Parallelism <= 1 runs inline). The remaining-traffic state is read-only
-// during evaluation, so workers share it without synchronization.
-func (s *Scheduler) parallelFor(n int, f func(i int)) {
+// parallelFor runs f(worker, 0..n-1) across Options.Parallelism workers
+// (Parallelism <= 1 runs inline with worker 0). The remaining-traffic state
+// is read-only during evaluation, so workers share it without
+// synchronization; work items are claimed from a lock-free atomic counter.
+// Each worker owns s.scratch[worker] exclusively for the duration of the
+// call.
+func (s *Scheduler) parallelFor(n int, f func(worker, i int)) {
 	workers := s.opt.Parallelism
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -148,32 +173,44 @@ func (s *Scheduler) parallelFor(n int, f func(i int)) {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
+	if workers < 1 {
+		workers = 1
+	}
+	s.ensureScratch(workers)
+	if workers == 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			f(0, i)
 		}
 		return
 	}
-	var next sync.Mutex
-	idx := 0
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
-				next.Lock()
-				i := idx
-				idx++
-				next.Unlock()
+				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				f(i)
+				f(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+}
+
+// ensureScratch grows the per-worker scratch pool to at least `workers`
+// entries. Called single-threaded before workers start.
+func (s *Scheduler) ensureScratch(workers int) {
+	for len(s.scratch) < workers {
+		n := s.fabric.N()
+		s.scratch = append(s.scratch, &evalScratch{
+			row: make([]int64, n),
+			col: make([]int64, n),
+		})
+	}
 }
 
 // ternarySearch finds a local maximum of the benefit-per-unit-cost function
@@ -186,6 +223,7 @@ func (s *Scheduler) ternarySearch(alphas []int, bst *best) {
 		links   []graph.Edge
 		benefit int64
 	}
+	s.ensureScratch(1)
 	cache := make(map[int]evald)
 	eval := func(i int) evald {
 		a := alphas[i]
@@ -193,7 +231,7 @@ func (s *Scheduler) ternarySearch(alphas []int, bst *best) {
 			return e
 		}
 		local := &best{delta: s.opt.Delta}
-		s.evalAlpha(a, local)
+		s.evalAlpha(s.scratch[0], a, local)
 		e := evald{local.links, local.benefit}
 		cache[a] = e
 		return e
@@ -220,8 +258,8 @@ func (s *Scheduler) ternarySearch(alphas []int, bst *best) {
 
 // evalAlpha fully evaluates the best configuration for one α (both
 // matchers where applicable) and feeds it to bst. It only reads the
-// remaining-traffic state.
-func (s *Scheduler) evalAlpha(a int, bst *best) {
+// remaining-traffic state, plus the caller's exclusively-owned scratch.
+func (s *Scheduler) evalAlpha(sc *evalScratch, a int, bst *best) {
 	switch {
 	case s.ufabric != nil:
 		s.evalBidirectional(a, bst)
@@ -229,54 +267,64 @@ func (s *Scheduler) evalAlpha(a int, bst *best) {
 		links, benefit := s.chainedGreedy(a)
 		bst.consider(links, a, benefit)
 	case s.opt.Ports > 1:
-		s.evalMultiPort(a, bst)
+		s.evalMultiPort(sc, a, bst)
 	default:
-		we := s.weightedEdges(a)
+		we := s.weightedEdges(sc, a)
 		if len(we) == 0 {
 			return
 		}
 		n := s.fabric.N()
-		gm, gw := matching.GreedyBipartite(n, we)
+		gm, gw := sc.arena.GreedyBipartite(n, we)
 		bst.consider(toLinks(gm), a, gw)
 		if s.opt.Matcher == MatcherGreedy {
 			return
 		}
-		m, w := matching.MaxWeightBipartite(n, we)
+		m, w := sc.arena.MaxWeightBipartite(n, we)
 		bst.consider(toLinks(m), a, w)
 	}
 }
 
 // weightedEdges builds the weighted graph G' of Procedure 2: every active
-// link weighted by g(i, j, α). The result is ordered by (From, To).
-func (s *Scheduler) weightedEdges(a int) []matching.Edge {
-	var we []matching.Edge
-	for _, e := range s.tr.activeEdges() {
-		if w := s.tr.gValue(e, a); w > 0 {
+// link weighted by g(i, j, α). The result is ordered by (From, To) and
+// aliases the scratch buffer — it is valid until the next call with the
+// same scratch.
+func (s *Scheduler) weightedEdges(sc *evalScratch, a int) []matching.Edge {
+	we := sc.we[:0]
+	edges := s.tr.activeEdges()
+	states := s.tr.activeStates()
+	for i, e := range edges {
+		if w := gValueState(states[i], a); w > 0 {
 			we = append(we, matching.Edge{From: e.From, To: e.To, Weight: w})
 		}
 	}
+	sc.we = we
 	return we
 }
 
 // rowColUB is a cheap upper bound on the maximum-weight matching: the
-// smaller of the row-maxima sum and the column-maxima sum.
-func rowColUB(we []matching.Edge) int64 {
-	rowMax := make(map[int]int64)
-	colMax := make(map[int]int64)
+// smaller of the row-maxima sum and the column-maxima sum. row and col are
+// caller-owned all-zero arrays indexed by node; they are restored to zero
+// before returning (every weight is positive, so a non-zero cell is both
+// "seen" marker and maximum).
+func rowColUB(we []matching.Edge, row, col []int64) int64 {
 	for _, e := range we {
-		if e.Weight > rowMax[e.From] {
-			rowMax[e.From] = e.Weight
+		if e.Weight > row[e.From] {
+			row[e.From] = e.Weight
 		}
-		if e.Weight > colMax[e.To] {
-			colMax[e.To] = e.Weight
+		if e.Weight > col[e.To] {
+			col[e.To] = e.Weight
 		}
 	}
 	var rs, cs int64
-	for _, w := range rowMax {
-		rs += w
-	}
-	for _, w := range colMax {
-		cs += w
+	for _, e := range we {
+		if w := row[e.From]; w != 0 {
+			rs += w
+			row[e.From] = 0
+		}
+		if w := col[e.To]; w != 0 {
+			cs += w
+			col[e.To] = 0
+		}
 	}
 	if cs < rs {
 		return cs
@@ -297,20 +345,24 @@ func toLinks(m []matching.Edge) []graph.Edge {
 }
 
 func sortLinks(links []graph.Edge) {
-	sort.Slice(links, func(i, j int) bool {
-		if links[i].From != links[j].From {
-			return links[i].From < links[j].From
-		}
-		return links[i].To < links[j].To
-	})
+	slices.SortFunc(links, cmpEdge)
+}
+
+// cmpEdge orders edges by (From, To); link sets never repeat an edge, so
+// the order is strict and the unstable sort is deterministic.
+func cmpEdge(a, b graph.Edge) int {
+	if a.From != b.From {
+		return a.From - b.From
+	}
+	return a.To - b.To
 }
 
 // evalMultiPort greedily composes r edge-disjoint matchings (§7, K ports
 // per node). Committed subflows queue on exactly one link, so matchings
 // over disjoint edge sets serve disjoint packet sets and benefits add
 // exactly; no weight recomputation is needed between the r rounds.
-func (s *Scheduler) evalMultiPort(a int, bst *best) {
-	we := s.weightedEdges(a)
+func (s *Scheduler) evalMultiPort(sc *evalScratch, a int, bst *best) {
+	we := s.weightedEdges(sc, a)
 	if len(we) == 0 {
 		return
 	}
@@ -323,9 +375,9 @@ func (s *Scheduler) evalMultiPort(a int, bst *best) {
 		var m []matching.Edge
 		var w int64
 		if s.opt.Matcher == MatcherGreedy {
-			m, w = matching.GreedyBipartite(n, avail)
+			m, w = sc.arena.GreedyBipartite(n, avail)
 		} else {
-			m, w = matching.MaxWeightBipartite(n, avail)
+			m, w = sc.arena.MaxWeightBipartite(n, avail)
 		}
 		if w <= 0 {
 			break
@@ -358,8 +410,10 @@ func (s *Scheduler) evalMultiPort(a int, bst *best) {
 // with MatcherGreedy.
 func (s *Scheduler) evalBidirectional(a int, bst *best) {
 	sum := make(map[graph.UEdge]int64)
-	for _, e := range s.tr.activeEdges() {
-		if w := s.tr.gValue(e, a); w > 0 {
+	edges := s.tr.activeEdges()
+	states := s.tr.activeStates()
+	for i, e := range edges {
+		if w := gValueState(states[i], a); w > 0 {
 			sum[graph.NormUEdge(e.From, e.To)] += w
 		}
 	}

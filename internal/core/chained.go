@@ -41,8 +41,11 @@ func (s *Scheduler) evalChain(edges []graph.Edge, alpha int) int64 {
 	for idx, e := range edges {
 		items := carry[:len(carry):len(carry)]
 		if ls := s.tr.links[e]; ls != nil {
-			for _, en := range ls.entries {
-				if en.sf.count == 0 || en.backtrack {
+			// The summary's live list skips zero-count entries up front; it
+			// is clean here because candidateAlphas rebuilt every active
+			// link's summary before the evaluation phase began.
+			for _, en := range ls.summary().live {
+				if en.backtrack {
 					continue
 				}
 				items = append(items, chItem{

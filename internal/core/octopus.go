@@ -108,6 +108,11 @@ type Scheduler struct {
 	used    int
 	iters   int
 	done    bool
+
+	// Reusable hot-path state: one scratch per parallel worker (grown
+	// lazily by parallelFor) and the per-iteration α evaluation records.
+	scratch []*evalScratch
+	evals   []alphaEval
 }
 
 // Result is the outcome of a completed Run: the schedule plus the plan's

@@ -162,13 +162,14 @@ func TestAlphaCandidatesCoverExhaustiveSearch(t *testing.T) {
 		// Advance a couple of iterations so T^r is nontrivial.
 		s.Step()
 		const maxAlpha = 80
+		s.ensureScratch(1)
 		bestCand := &best{delta: s.opt.Delta}
 		for _, a := range s.tr.candidateAlphas(maxAlpha) {
-			s.evalAlpha(a, bestCand)
+			s.evalAlpha(s.scratch[0], a, bestCand)
 		}
 		bestAll := &best{delta: s.opt.Delta}
 		for a := 1; a <= maxAlpha; a++ {
-			s.evalAlpha(a, bestAll)
+			s.evalAlpha(s.scratch[0], a, bestAll)
 		}
 		if bestAll.benefit*int64(bestCand.alpha+s.opt.Delta) > bestCand.benefit*int64(bestAll.alpha+s.opt.Delta) {
 			t.Fatalf("seed %d: exhaustive ratio (%d/%d) beats candidate ratio (%d/%d)",

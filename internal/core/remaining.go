@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"octopus/internal/graph"
@@ -29,6 +30,17 @@ type subflow struct {
 	// the next configuration (a packet traverses at most one hop per
 	// configuration in the plan bookkeeping).
 	frozen int
+	// homes are the link queues holding an entry for this subflow. A count
+	// change invalidates exactly these links' cached summaries.
+	homes []*linkState
+}
+
+// markDirty invalidates the cached summary of every queue holding one of
+// the subflow's entries; called whenever its packet count changes.
+func (sf *subflow) markDirty() {
+	for _, ls := range sf.homes {
+		ls.dirty = true
+	}
 }
 
 // node returns the subflow's current node.
@@ -60,9 +72,32 @@ type entry struct {
 	backtrack bool
 }
 
+// linkSummary caches, per link, everything the greedy loop repeatedly asks
+// of the queue: prefix sums over the live (non-zero-count) entries in queue
+// order, the per-entry benefit weights, and the Procedure-1 α boundaries
+// (unclamped prefix counts at each benefit-weight run boundary plus the
+// total). gValue becomes a binary search over prefC/prefB and
+// candidateAlphas a merge of the cached alphas sets. The summary is a pure
+// function of the queue contents, so rebuilding it lazily (and only for
+// links whose queues changed) yields bit-identical results to the direct
+// per-call walk it replaces.
+type linkSummary struct {
+	live   []*entry // entries with count > 0, queue order
+	prefC  []int    // cumulative packet count over live
+	prefB  []int64  // cumulative benefit (count·bw) over live
+	bws    []int64  // benefit weight of each live entry
+	alphas []int    // Procedure-1 boundaries, ascending, unclamped
+}
+
 // linkState is the priority queue of entries for one directed link.
 type linkState struct {
 	entries []*entry
+	sum     linkSummary
+	// dirty marks the summary stale. It is set single-threaded (entry
+	// insertion and count changes during apply) and cleared single-threaded
+	// (candidateAlphas at the start of each bestConfiguration), so the
+	// parallel evaluation phase only ever reads clean summaries.
+	dirty bool
 }
 
 func (ls *linkState) insert(e *entry) {
@@ -79,6 +114,50 @@ func (ls *linkState) insert(e *entry) {
 	ls.entries = append(ls.entries, nil)
 	copy(ls.entries[i+1:], ls.entries[i:])
 	ls.entries[i] = e
+	ls.dirty = true
+}
+
+// rebuild recomputes the cached summary from the queue contents.
+func (ls *linkState) rebuild() {
+	s := &ls.sum
+	s.live = s.live[:0]
+	s.prefC = s.prefC[:0]
+	s.prefB = s.prefB[:0]
+	s.bws = s.bws[:0]
+	s.alphas = s.alphas[:0]
+	c := 0
+	var b int64
+	var lastBW int64 = -1
+	for _, en := range ls.entries {
+		if en.sf.count == 0 {
+			continue
+		}
+		if lastBW != -1 && en.bw != lastBW && c > 0 {
+			s.alphas = append(s.alphas, c)
+		}
+		c += en.sf.count
+		b += int64(en.sf.count) * en.bw
+		s.live = append(s.live, en)
+		s.prefC = append(s.prefC, c)
+		s.prefB = append(s.prefB, b)
+		s.bws = append(s.bws, en.bw)
+		lastBW = en.bw
+	}
+	if c > 0 {
+		s.alphas = append(s.alphas, c)
+	}
+	ls.dirty = false
+}
+
+// summary returns the up-to-date cached summary. Callers on the parallel
+// read-only path rely on candidateAlphas having cleaned every active link
+// beforehand; the rebuild here only triggers on single-threaded paths
+// (direct test calls, serveLink-free queries).
+func (ls *linkState) summary() *linkSummary {
+	if ls.dirty {
+		ls.rebuild()
+	}
+	return &ls.sum
 }
 
 // Entries are never removed from a queue: a subflow drained now can be
@@ -102,6 +181,7 @@ type remaining struct {
 	g          *graph.Digraph
 	links      map[graph.Edge]*linkState
 	edgeList   []graph.Edge // sorted keys of links; rebuilt lazily
+	stateList  []*linkState // links[edgeList[i]], same order; avoids map hits on the hot path
 	edgesDirty bool
 	byKey      map[sfKey]*subflow
 
@@ -119,6 +199,14 @@ type remaining struct {
 	keepTrace bool
 	configIdx int
 	touched   []*subflow // subflows with frozen packets from the current apply
+
+	// building marks the bulk-construction phase of newRemaining: entries
+	// are appended unsorted and every queue is sorted once at the end,
+	// avoiding the O(n) copy-per-insert of incremental insertion.
+	building bool
+	// alphaBuf is the reusable merge buffer of candidateAlphas; the
+	// returned slice aliases it and is valid until the next call.
+	alphaBuf []int
 }
 
 // newRemaining builds T^r = T.
@@ -132,6 +220,7 @@ func newRemaining(g *graph.Digraph, load *traffic.Load, eps int, multiRoute, bac
 		backtrack:  backtrack,
 		keepTrace:  keepTrace,
 	}
+	tr.building = true
 	for i := range load.Flows {
 		f := &load.Flows[i]
 		tr.pending += f.Size
@@ -145,7 +234,30 @@ func newRemaining(g *graph.Digraph, load *traffic.Load, eps int, multiRoute, bac
 		tr.byKey[sf.key] = sf
 		tr.addUncommittedEntries(sf)
 	}
+	tr.building = false
+	// Sort each queue once. During construction every flow contributes at
+	// most one entry per link, so (bw desc, flow ID asc) is a strict total
+	// order and the batch sort reproduces the incremental-insert order
+	// exactly.
+	for _, ls := range tr.links {
+		sortEntries(ls.entries)
+	}
 	return tr
+}
+
+// sortEntries orders a queue by (bw desc, flow ID asc, pos asc), the order
+// linkState.insert maintains incrementally.
+func sortEntries(entries []*entry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.bw != b.bw {
+			return a.bw > b.bw
+		}
+		if a.sf.flow.ID != b.sf.flow.ID {
+			return a.sf.flow.ID < b.sf.flow.ID
+		}
+		return a.sf.key.pos < b.sf.key.pos
+	})
 }
 
 // hopBW returns the benefit weight of the hop at index pos of an l-hop
@@ -155,11 +267,25 @@ func (tr *remaining) hopBW(l, pos int) int64 { return traffic.HopWeight(l, pos, 
 func (tr *remaining) link(e graph.Edge) *linkState {
 	ls := tr.links[e]
 	if ls == nil {
-		ls = &linkState{}
+		ls = &linkState{dirty: true}
 		tr.links[e] = ls
 		tr.edgesDirty = true
 	}
 	return ls
+}
+
+// addEntry queues en on link e and records the queue as a home of the
+// subflow so count changes can invalidate its summary. During bulk
+// construction the entry is appended unsorted; newRemaining sorts once.
+func (tr *remaining) addEntry(e graph.Edge, en *entry) {
+	ls := tr.link(e)
+	if tr.building {
+		ls.entries = append(ls.entries, en)
+		ls.dirty = true
+	} else {
+		ls.insert(en)
+	}
+	en.sf.homes = append(en.sf.homes, ls)
 }
 
 // addCommittedEntry queues a committed subflow on its next-hop link and,
@@ -168,12 +294,12 @@ func (tr *remaining) addCommittedEntry(sf *subflow) {
 	l := sf.flow.WeightLen(sf.route)
 	pos := sf.key.pos
 	e := graph.Edge{From: sf.route[pos], To: sf.route[pos+1]}
-	tr.link(e).insert(&entry{
+	tr.addEntry(e, &entry{
 		sf: sf, bw: tr.hopBW(l, pos), pw: traffic.Weight(l), routeID: sf.key.routeID,
 	})
 	if tr.backtrack && pos > 0 && tr.g.HasEdge(sf.flow.Src, sf.flow.Dst) {
 		direct := graph.Edge{From: sf.flow.Src, To: sf.flow.Dst}
-		tr.link(direct).insert(&entry{
+		tr.addEntry(direct, &entry{
 			sf: sf, bw: tr.hopBW(1, 0), pw: traffic.Weight(1), routeID: -1, backtrack: true,
 		})
 	}
@@ -206,7 +332,7 @@ func (tr *remaining) addUncommittedEntries(sf *subflow) {
 	for _, e := range links {
 		ri := best[e]
 		l := sf.flow.WeightLen(sf.flow.Routes[ri])
-		tr.link(e).insert(&entry{
+		tr.addEntry(e, &entry{
 			sf: sf, bw: tr.hopBW(l, 0), pw: traffic.Weight(l), routeID: ri,
 		})
 	}
@@ -222,76 +348,93 @@ func (tr *remaining) activeEdges() []graph.Edge {
 				tr.edgeList = append(tr.edgeList, e)
 			}
 		}
-		sort.Slice(tr.edgeList, func(i, j int) bool {
-			if tr.edgeList[i].From != tr.edgeList[j].From {
-				return tr.edgeList[i].From < tr.edgeList[j].From
-			}
-			return tr.edgeList[i].To < tr.edgeList[j].To
-		})
+		slices.SortFunc(tr.edgeList, cmpEdge)
+		tr.stateList = tr.stateList[:0]
+		for _, e := range tr.edgeList {
+			tr.stateList = append(tr.stateList, tr.links[e])
+		}
 		tr.edgesDirty = false
 	}
 	return tr.edgeList
 }
 
+// activeStates returns the link states of activeEdges(), index-aligned with
+// it, so hot loops over the active links skip the per-edge map lookup.
+func (tr *remaining) activeStates() []*linkState {
+	tr.activeEdges()
+	return tr.stateList
+}
+
 // gValue computes g(i, j, α): the maximum benefit weight of α packets
 // queued on the link (Procedure 2, line 4). Each packet is counted once
 // even if it has entries with several candidate routes on other links.
+// Using the cached summary this is a binary search over the prefix counts:
+// the queue walk it replaces took the top α packets in queue order, which
+// is exactly "all of the first k live entries plus a partial take of entry
+// k+1" for the k the search finds.
 func (tr *remaining) gValue(e graph.Edge, alpha int) int64 {
 	ls := tr.links[e]
 	if ls == nil {
 		return 0
 	}
-	var total int64
-	left := alpha
-	for _, en := range ls.entries {
-		if left == 0 {
-			break
-		}
-		c := en.sf.count
-		if c == 0 {
-			continue
-		}
-		if c > left {
-			c = left
-		}
-		total += int64(c) * en.bw
-		left -= c
+	return gValueState(ls, alpha)
+}
+
+// gValueState is gValue for an already-resolved link state (hot loops pair
+// it with activeStates to avoid the map lookup per edge per α).
+func gValueState(ls *linkState, alpha int) int64 {
+	if alpha <= 0 {
+		return 0
 	}
-	return total
+	s := ls.summary()
+	n := len(s.prefC)
+	if n == 0 {
+		return 0
+	}
+	if alpha >= s.prefC[n-1] {
+		return s.prefB[n-1]
+	}
+	// Inline binary search for the first live entry whose cumulative count
+	// reaches α (sort.Search's closure indirection costs on this path).
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.prefC[mid] >= alpha {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return s.prefB[lo] - int64(s.prefC[lo]-alpha)*s.bws[lo]
 }
 
 // candidateAlphas implements Procedure 1 (SetOfAlphas): for every link, the
 // prefix sums of queued packet counts at each benefit-weight class
 // boundary. Values are clamped to maxAlpha and deduplicated; the result is
 // sorted ascending.
+//
+// The per-link boundary sets are cached in the link summaries; this merge
+// also doubles as the per-iteration synchronization point that rebuilds
+// every dirty summary before the parallel evaluation phase reads them. The
+// returned slice aliases an internal buffer valid until the next call.
 func (tr *remaining) candidateAlphas(maxAlpha int) []int {
-	seen := make(map[int]bool)
-	for _, e := range tr.activeEdges() {
-		ls := tr.links[e]
-		sum := 0
-		var lastBW int64 = -1
-		for _, en := range ls.entries {
-			if en.sf.count == 0 {
-				continue
-			}
-			if lastBW != -1 && en.bw != lastBW && sum > 0 {
-				seen[minInt(sum, maxAlpha)] = true
-			}
-			sum += en.sf.count
-			lastBW = en.bw
-		}
-		if sum > 0 {
-			seen[minInt(sum, maxAlpha)] = true
+	buf := tr.alphaBuf[:0]
+	for _, ls := range tr.activeStates() {
+		s := ls.summary()
+		for _, a := range s.alphas {
+			buf = append(buf, minInt(a, maxAlpha))
 		}
 	}
-	alphas := make([]int, 0, len(seen))
-	for a := range seen {
-		if a > 0 {
-			alphas = append(alphas, a)
+	slices.Sort(buf)
+	// Compact duplicates and drop non-positive values in place.
+	out := buf[:0]
+	for i, a := range buf {
+		if a > 0 && (i == 0 || a != buf[i-1]) {
+			out = append(out, a)
 		}
 	}
-	sort.Ints(alphas)
-	return alphas
+	tr.alphaBuf = buf
+	return out
 }
 
 func minInt(a, b int) int {
@@ -326,6 +469,7 @@ func (tr *remaining) serveLink(e graph.Edge, alpha int, backtrackPass bool) int 
 		}
 		t := minInt(alpha-served, movable)
 		sf.count -= t
+		sf.markDirty()
 		served += t
 		if tr.keepTrace {
 			tr.trace = append(tr.trace, servedRecord{
@@ -367,6 +511,7 @@ func (tr *remaining) serveLink(e graph.Edge, alpha int, backtrackPass bool) int 
 		} else {
 			dst.count += t
 			dst.frozen += t
+			dst.markDirty()
 		}
 		tr.touched = append(tr.touched, dst)
 	}

@@ -1,0 +1,266 @@
+package matching
+
+// Arena is reusable scratch for the bipartite matchers. The Octopus greedy
+// loop solves thousands of matchings per run; with a per-worker Arena the
+// dense matrix, potentials, radix-sort buffer, and result slices are
+// allocated once and recycled, so the per-α matchings stop churning the
+// garbage collector.
+//
+// An Arena is not safe for concurrent use, and the edge slice returned by
+// its matcher methods aliases arena storage: it is valid only until the
+// next call on the same Arena. The package-level MaxWeightBipartite and
+// GreedyBipartite wrappers use a private Arena per call and therefore keep
+// their original allocate-fresh semantics.
+//
+// The zero Arena is ready to use.
+type Arena struct {
+	// Greedy matcher state.
+	pos      []Edge // positive-weight working copy of the input
+	radixBuf []Edge // ping-pong buffer for the radix sort
+	usedFrom []bool // per-node matched marks; all-false between calls
+	usedTo   []bool
+	outG     []Edge // greedy result backing
+
+	// Hungarian matcher state.
+	rowID, colID []int // node -> compact index; -1 between calls
+	rows, cols   []int // compact index -> node
+	w            []int64
+	u, v, minv   []int64
+	p, way       []int
+	free, path   []int  // unused columns (ascending) / alternating-path columns
+	outX         []Edge // exact result backing
+}
+
+// growBools returns b extended to length >= n; fresh cells are false.
+func growBools(b []bool, n int) []bool {
+	if len(b) < n {
+		b = append(b, make([]bool, n-len(b))...)
+	}
+	return b
+}
+
+// growIDs returns ids extended to length >= n; fresh cells are -1.
+func growIDs(ids []int, n int) []int {
+	for len(ids) < n {
+		ids = append(ids, -1)
+	}
+	return ids
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		s = make([]int, n)
+	}
+	return s[:n]
+}
+
+func growInt64s(s []int64, n int) []int64 {
+	if cap(s) < n {
+		s = make([]int64, n)
+	}
+	return s[:n]
+}
+
+// GreedyBipartite is the arena-backed variant of the package-level
+// GreedyBipartite; see its documentation. The returned slice is valid
+// until the next call on the arena.
+func (a *Arena) GreedyBipartite(n int, edges []Edge) ([]Edge, int64) {
+	pos := a.pos[:0]
+	for _, e := range edges {
+		if e.Weight > 0 {
+			pos = append(pos, e)
+		}
+	}
+	a.pos = pos
+	if cap(a.radixBuf) < len(pos) {
+		a.radixBuf = make([]Edge, len(pos))
+	}
+	radixSortEdges(pos, a.radixBuf[:len(pos)])
+	a.usedFrom = growBools(a.usedFrom, n)
+	a.usedTo = growBools(a.usedTo, n)
+	usedFrom, usedTo := a.usedFrom, a.usedTo
+	m := a.outG[:0]
+	var total int64
+	for _, e := range pos {
+		if usedFrom[e.From] || usedTo[e.To] {
+			continue
+		}
+		usedFrom[e.From] = true
+		usedTo[e.To] = true
+		m = append(m, e)
+		total += e.Weight
+	}
+	a.outG = m
+	// Restore the all-false invariant: only matched endpoints were set.
+	for _, e := range m {
+		usedFrom[e.From] = false
+		usedTo[e.To] = false
+	}
+	if len(m) == 0 {
+		return nil, 0
+	}
+	return m, total
+}
+
+// MaxWeightBipartite is the arena-backed variant of the package-level
+// MaxWeightBipartite; see its documentation. The returned slice is valid
+// until the next call on the arena.
+func (a *Arena) MaxWeightBipartite(n int, edges []Edge) ([]Edge, int64) {
+	// Compact the instance to active rows/columns.
+	a.rowID = growIDs(a.rowID, n)
+	a.colID = growIDs(a.colID, n)
+	rowID, colID := a.rowID, a.colID
+	rows, cols := a.rows[:0], a.cols[:0]
+	for _, e := range edges {
+		if e.Weight <= 0 {
+			continue
+		}
+		if rowID[e.From] < 0 {
+			rowID[e.From] = len(rows)
+			rows = append(rows, e.From)
+		}
+		if colID[e.To] < 0 {
+			colID[e.To] = len(cols)
+			cols = append(cols, e.To)
+		}
+	}
+	a.rows, a.cols = rows, cols
+	nr, nc := len(rows), len(cols)
+	if nr == 0 {
+		return nil, 0
+	}
+	// The shortest-augmenting-path formulation below needs nr <= nc.
+	// Pad columns with dummies of weight 0 if necessary.
+	if nc < nr {
+		nc = nr
+	}
+	// Dense weight matrix; absent pairs have weight 0, equivalent to
+	// leaving the row unmatched.
+	a.w = growInt64s(a.w, nr*nc)
+	w := a.w
+	for i := range w {
+		w[i] = 0
+	}
+	for _, e := range edges {
+		if e.Weight <= 0 {
+			continue
+		}
+		i, j := rowID[e.From], colID[e.To]
+		if e.Weight > w[i*nc+j] {
+			w[i*nc+j] = e.Weight // keep max of duplicate edges
+		}
+	}
+	// Restore the node-index maps for the next call.
+	for _, r := range rows {
+		rowID[r] = -1
+	}
+	for _, c := range cols {
+		colID[c] = -1
+	}
+
+	// Minimize cost = -weight. 1-indexed arrays as in the standard
+	// formulation; p[j] is the row assigned to column j.
+	a.u = growInt64s(a.u, nr+1)
+	a.v = growInt64s(a.v, nc+1)
+	a.p = growInts(a.p, nc+1)
+	a.way = growInts(a.way, nc+1)
+	a.minv = growInt64s(a.minv, nc+1)
+	a.free = growInts(a.free, nc)
+	a.path = growInts(a.path, nc+1)
+	u, v, p, way, minv := a.u, a.v, a.p, a.way, a.minv
+	for i := range u {
+		u[i] = 0
+	}
+	for j := range v {
+		v[j] = 0
+		p[j] = 0
+		way[j] = 0
+	}
+	// Shortest augmenting paths with two representation tricks that keep
+	// every comparison (and hence every tie-break and the final assignment)
+	// bit-identical to the textbook form:
+	//
+	//  1. The unused columns live in `free`, kept in ascending order, so the
+	//     scan visits exactly the columns the textbook loop would, in the
+	//     same order, without a used[] branch.
+	//  2. Instead of decrementing minv[j] for every unused column after each
+	//     round ("minv[j] -= delta"), we accumulate the total delta D and
+	//     store minv normalized to the start of the row: a value written at
+	//     time t is stored as cur+D_t, and its textbook value now is
+	//     stored-D. All comparisons within a round shift both sides by the
+	//     same D, so their outcomes are unchanged, and the O(nc) decrement
+	//     sweep disappears. (Values are bounded far below inf, so the offset
+	//     cannot overflow.)
+	for i := 1; i <= nr; i++ {
+		p[0] = i
+		j0 := 0
+		free := a.free[:0]
+		for j := 1; j <= nc; j++ {
+			free = append(free, j)
+			minv[j] = inf
+		}
+		path := a.path[:0]
+		var d int64 = 0 // cumulative delta this row
+		for {
+			if j0 != 0 {
+				// Retire j0 from the free list, preserving order.
+				k := 0
+				for free[k] != j0 {
+					k++
+				}
+				free = append(free[:k], free[k+1:]...)
+			}
+			path = append(path, j0)
+			i0 := p[j0]
+			deltaN := int64(inf) // normalized: delta + d
+			j1 := 0
+			wrow := w[(i0-1)*nc : i0*nc]
+			ui0 := u[i0]
+			for _, j := range free {
+				cur := -wrow[j-1] - ui0 - v[j] + d
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < deltaN {
+					deltaN = minv[j]
+					j1 = j
+				}
+			}
+			delta := deltaN - d
+			for _, j := range path {
+				u[p[j]] += delta
+				v[j] -= delta
+			}
+			d = deltaN
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	m := a.outX[:0]
+	var total int64
+	for j := 1; j <= nc; j++ {
+		i := p[j]
+		if i == 0 || j > len(cols) {
+			continue
+		}
+		wt := w[(i-1)*nc+(j-1)]
+		if wt > 0 {
+			m = append(m, Edge{From: rows[i-1], To: cols[j-1], Weight: wt})
+			total += wt
+		}
+	}
+	a.outX = m
+	if len(m) == 0 {
+		return nil, 0
+	}
+	return m, total
+}

@@ -90,11 +90,12 @@ func BenchmarkGreedyGeneral(b *testing.B) {
 func BenchmarkRadixSortEdges(b *testing.B) {
 	edges := benchBipartite(200, 2, 1)
 	work := make([]Edge, len(edges))
+	buf := make([]Edge, len(edges))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(work, edges)
-		radixSortEdges(work)
+		radixSortEdges(work, buf)
 	}
 }
 

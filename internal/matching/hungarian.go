@@ -14,114 +14,12 @@ const inf = math.MaxInt64 / 4
 // only the nodes incident to a positive-weight edge, giving O(k^3) time for
 // k active nodes. It stands in for the OR-Tools linear-assignment solver
 // the paper used; both compute the same optimum.
+// Hot-path callers should prefer Arena.MaxWeightBipartite, which holds the
+// implementation and recycles the dense matrix and potential arrays across
+// calls.
 func MaxWeightBipartite(n int, edges []Edge) ([]Edge, int64) {
-	// Compact the instance to active rows/columns.
-	rowID := make(map[int]int)
-	colID := make(map[int]int)
-	var rows, cols []int
-	for _, e := range edges {
-		if e.Weight <= 0 {
-			continue
-		}
-		if _, ok := rowID[e.From]; !ok {
-			rowID[e.From] = len(rows)
-			rows = append(rows, e.From)
-		}
-		if _, ok := colID[e.To]; !ok {
-			colID[e.To] = len(cols)
-			cols = append(cols, e.To)
-		}
-	}
-	nr, nc := len(rows), len(cols)
-	if nr == 0 {
-		return nil, 0
-	}
-	// The shortest-augmenting-path formulation below needs nr <= nc.
-	// Pad columns with dummies of weight 0 if necessary.
-	if nc < nr {
-		nc = nr
-	}
-	// Dense weight matrix; absent pairs have weight 0, equivalent to
-	// leaving the row unmatched.
-	w := make([]int64, nr*nc)
-	for _, e := range edges {
-		if e.Weight <= 0 {
-			continue
-		}
-		i, j := rowID[e.From], colID[e.To]
-		if e.Weight > w[i*nc+j] {
-			w[i*nc+j] = e.Weight // keep max of duplicate edges
-		}
-	}
-
-	// Minimize cost = -weight. 1-indexed arrays as in the standard
-	// formulation; p[j] is the row assigned to column j.
-	u := make([]int64, nr+1)
-	v := make([]int64, nc+1)
-	p := make([]int, nc+1)
-	way := make([]int, nc+1)
-	minv := make([]int64, nc+1)
-	used := make([]bool, nc+1)
-	for i := 1; i <= nr; i++ {
-		p[0] = i
-		j0 := 0
-		for j := 0; j <= nc; j++ {
-			minv[j] = inf
-			used[j] = false
-		}
-		for {
-			used[j0] = true
-			i0 := p[j0]
-			var delta int64 = inf
-			j1 := 0
-			for j := 1; j <= nc; j++ {
-				if used[j] {
-					continue
-				}
-				cur := -w[(i0-1)*nc+(j-1)] - u[i0] - v[j]
-				if cur < minv[j] {
-					minv[j] = cur
-					way[j] = j0
-				}
-				if minv[j] < delta {
-					delta = minv[j]
-					j1 = j
-				}
-			}
-			for j := 0; j <= nc; j++ {
-				if used[j] {
-					u[p[j]] += delta
-					v[j] -= delta
-				} else {
-					minv[j] -= delta
-				}
-			}
-			j0 = j1
-			if p[j0] == 0 {
-				break
-			}
-		}
-		for j0 != 0 {
-			j1 := way[j0]
-			p[j0] = p[j1]
-			j0 = j1
-		}
-	}
-
-	var m []Edge
-	var total int64
-	for j := 1; j <= nc; j++ {
-		i := p[j]
-		if i == 0 || j > len(cols) {
-			continue
-		}
-		wt := w[(i-1)*nc+(j-1)]
-		if wt > 0 {
-			m = append(m, Edge{From: rows[i-1], To: cols[j-1], Weight: wt})
-			total += wt
-		}
-	}
-	return m, total
+	var a Arena
+	return a.MaxWeightBipartite(n, edges)
 }
 
 // BruteForceBipartite returns an exact maximum-weight bipartite matching by

@@ -47,37 +47,20 @@ func UWeight(edges []UEdge) int64 {
 // classic 1/2-approximation of the maximum-weight matching [Avis '83] and is
 // the matcher behind the Octopus-G variant (paper §8, "Execution Time").
 // Edges with non-positive weight are ignored. Runs in O(E) plus the radix
-// sort of the edge weights.
+// sort of the edge weights. Hot-path callers should prefer Arena.
+// GreedyBipartite, which recycles the working buffers across calls.
 func GreedyBipartite(n int, edges []Edge) ([]Edge, int64) {
-	pos := make([]Edge, 0, len(edges))
-	for _, e := range edges {
-		if e.Weight > 0 {
-			pos = append(pos, e)
-		}
-	}
-	radixSortEdges(pos)
-	usedFrom := make([]bool, n)
-	usedTo := make([]bool, n)
-	var m []Edge
-	var total int64
-	for _, e := range pos {
-		if usedFrom[e.From] || usedTo[e.To] {
-			continue
-		}
-		usedFrom[e.From] = true
-		usedTo[e.To] = true
-		m = append(m, e)
-		total += e.Weight
-	}
-	return m, total
+	var a Arena
+	return a.GreedyBipartite(n, edges)
 }
 
 // radixSortEdges sorts edges by weight descending using a stable LSD radix
 // sort on the (non-negative) weights, 11 bits per pass. Because the sort is
 // stable, callers that pass edges in (From, To) order get deterministic
 // tie-breaking. This is the "incredibly simple" linear-time path the paper
-// highlights for integer weights bounded by W.
-func radixSortEdges(edges []Edge) {
+// highlights for integer weights bounded by W. buf is caller-owned ping-pong
+// storage with len(buf) == len(edges); its final contents are unspecified.
+func radixSortEdges(edges, buf []Edge) {
 	const bits = 11
 	const buckets = 1 << bits
 	const mask = buckets - 1
@@ -90,7 +73,6 @@ func radixSortEdges(edges []Edge) {
 			maxW = e.Weight
 		}
 	}
-	buf := make([]Edge, len(edges))
 	src, dst := edges, buf
 	var count [buckets]int
 	for shift := uint(0); maxW>>shift > 0; shift += bits {

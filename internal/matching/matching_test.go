@@ -135,7 +135,7 @@ func TestRadixSortEdges(t *testing.T) {
 			edges[i] = Edge{i, i, rng.Int63n(1 << uint(1+rng.Intn(40)))}
 		}
 		got := append([]Edge(nil), edges...)
-		radixSortEdges(got)
+		radixSortEdges(got, make([]Edge, len(got)))
 		want := append([]Edge(nil), edges...)
 		sort.SliceStable(want, func(i, j int) bool { return want[i].Weight > want[j].Weight })
 		for i := range want {
@@ -148,7 +148,7 @@ func TestRadixSortEdges(t *testing.T) {
 
 func TestRadixSortStability(t *testing.T) {
 	edges := []Edge{{0, 0, 7}, {1, 1, 7}, {2, 2, 7}, {3, 3, 9}}
-	radixSortEdges(edges)
+	radixSortEdges(edges, make([]Edge, len(edges)))
 	if edges[0].From != 3 || edges[1].From != 0 || edges[2].From != 1 || edges[3].From != 2 {
 		t.Fatalf("stability violated: %v", edges)
 	}
