@@ -19,6 +19,7 @@ import (
 	"octopus/internal/core"
 	"octopus/internal/experiment"
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 	"octopus/internal/traffic"
 )
 
@@ -43,6 +44,19 @@ type benchResult struct {
 	DeliveredPerOp int     `json:"delivered_per_op"`
 	BaselineNs     int64   `json:"baseline_ns_per_op,omitempty"`
 	Speedup        float64 `json:"speedup,omitempty"`
+
+	// Work counters from one extra, untimed, instrumented run of the same
+	// instance (the timed reps stay uninstrumented so ns_per_op remains
+	// comparable with pre-observability bench files). Zero-valued counters
+	// are omitted — non-core algorithms report none.
+	Iterations      int64 `json:"iterations,omitempty"`
+	ExactCalls      int64 `json:"match_exact_calls,omitempty"`
+	GreedyCalls     int64 `json:"match_greedy_calls,omitempty"`
+	AugmentRounds   int64 `json:"match_augment_rounds,omitempty"`
+	ArenaReuses     int64 `json:"arena_reuses,omitempty"`
+	ArenaGrows      int64 `json:"arena_grows,omitempty"`
+	SummaryRebuilds int64 `json:"summary_rebuilds,omitempty"`
+	SimConfigs      int64 `json:"sim_configs,omitempty"`
 }
 
 // benchFile is the top-level -json document.
@@ -142,6 +156,20 @@ func benchOne(a algo.Algorithm, n int, sc experiment.Scale, reps int) (benchResu
 		res.PsiPerOp = out.Psi
 		res.DeliveredPerOp = out.Delivered
 	}
+	// One extra untimed rep with instrumentation to report work counters.
+	reg := obs.NewRegistry()
+	p.Obs = &obs.Observer{Metrics: reg}
+	if _, err := a.Run(g, load, p); err != nil {
+		return benchResult{}, err
+	}
+	res.Iterations = reg.Value("octopus_core_iterations_total")
+	res.ExactCalls = reg.Value("octopus_match_exact_calls_total")
+	res.GreedyCalls = reg.Value("octopus_match_greedy_calls_total")
+	res.AugmentRounds = reg.Value("octopus_match_augment_rounds_total")
+	res.ArenaReuses = reg.Value("octopus_match_arena_reuses_total")
+	res.ArenaGrows = reg.Value("octopus_match_arena_grows_total")
+	res.SummaryRebuilds = reg.Value("octopus_core_summary_rebuilds_total")
+	res.SimConfigs = reg.Value("octopus_sim_configs_total")
 	return res, nil
 }
 

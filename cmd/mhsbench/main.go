@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"octopus/internal/algo"
+	"octopus/internal/buildinfo"
 	"octopus/internal/experiment"
 )
 
@@ -50,8 +51,14 @@ func main() {
 		baseline   = flag.String("baseline", "", "previous -json output; annotates results with per-point speedups")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		version    = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		buildinfo.Print(os.Stdout, "mhsbench")
+		return
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestVersionFlag smoke-tests `mhsbench -version` by driving main itself:
+// os.Args is swapped for the flag and stdout captured through a pipe. main
+// must print one "mhsbench <version>" line and return before any benchmark
+// or figure work.
+func TestVersionFlag(t *testing.T) {
+	oldArgs, oldStdout := os.Args, os.Stdout
+	defer func() { os.Args, os.Stdout = oldArgs, oldStdout }()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Args = []string{"mhsbench", "-version"}
+	os.Stdout = w
+	main()
+	w.Close()
+	os.Stdout = oldStdout
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := string(out)
+	if !strings.HasPrefix(line, "mhsbench ") || strings.TrimSpace(strings.TrimPrefix(line, "mhsbench ")) == "" {
+		t.Fatalf("-version printed %q, want \"mhsbench <version>\"", line)
+	}
+}

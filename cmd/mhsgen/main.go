@@ -16,6 +16,7 @@ import (
 	"os"
 	"sort"
 
+	"octopus/internal/buildinfo"
 	"octopus/internal/graph"
 	"octopus/internal/traffic"
 )
@@ -86,9 +87,14 @@ func main() {
 		matrix    = flag.String("matrix", "", "build the load from a CSV demand matrix instead of generating")
 		out       = flag.String("out", "", "output JSON path (default stdout)")
 		stats     = flag.String("stats", "", "print statistics of an existing load JSON and exit")
+		version   = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		buildinfo.Print(os.Stdout, "mhsgen")
+		return
+	}
 	if *stats != "" {
 		printStats(*stats)
 		return

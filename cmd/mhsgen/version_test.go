@@ -1,0 +1,34 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestVersionFlag smoke-tests `mhsgen -version` by driving main itself:
+// os.Args is swapped for the flag and stdout captured through a pipe. main
+// must print one "mhsgen <version>" line and return before generating
+// anything.
+func TestVersionFlag(t *testing.T) {
+	oldArgs, oldStdout := os.Args, os.Stdout
+	defer func() { os.Args, os.Stdout = oldArgs, oldStdout }()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Args = []string{"mhsgen", "-version"}
+	os.Stdout = w
+	main()
+	w.Close()
+	os.Stdout = oldStdout
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := string(out)
+	if !strings.HasPrefix(line, "mhsgen ") || strings.TrimSpace(strings.TrimPrefix(line, "mhsgen ")) == "" {
+		t.Fatalf("-version printed %q, want \"mhsgen <version>\"", line)
+	}
+}

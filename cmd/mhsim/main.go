@@ -17,22 +17,173 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"octopus/internal/algo"
+	"octopus/internal/buildinfo"
 	"octopus/internal/core"
 	"octopus/internal/fault"
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 	"octopus/internal/online"
 	"octopus/internal/schedule"
 	"octopus/internal/simulate"
 	"octopus/internal/traffic"
 )
+
+// serveHold blocks the process while -serve is active. Tests replace it to
+// probe the endpoints and return instead of blocking forever.
+var serveHold = func(addr string) { select {} }
+
+// obsSinks bundles the observability wiring of one mhsim invocation: the
+// metrics registry (for -metrics-out and -serve), the decision tracer (for
+// -trace-out and -gantt), and the buffer -gantt renders from.
+type obsSinks struct {
+	observer  *obs.Observer
+	reg       *obs.Registry
+	tracer    *obs.Tracer
+	traceFile *os.File
+	ganttBuf  *bytes.Buffer
+}
+
+// setup creates the sinks the flags ask for. The gantt chart is rendered
+// from the decision trace, so -gantt attaches an in-memory trace buffer
+// even without -trace-out.
+func (s *obsSinks) setup(metricsOut, traceOut, serveAddr string, gantt bool) error {
+	if metricsOut != "" || serveAddr != "" {
+		s.reg = obs.NewRegistry()
+	}
+	var tws []io.Writer
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return fmt.Errorf("decision trace: %w", err)
+		}
+		s.traceFile = f
+		tws = append(tws, f)
+	}
+	if gantt {
+		s.ganttBuf = &bytes.Buffer{}
+		tws = append(tws, s.ganttBuf)
+	}
+	switch len(tws) {
+	case 0:
+	case 1:
+		s.tracer = obs.NewTracer(tws[0])
+	default:
+		s.tracer = obs.NewTracer(io.MultiWriter(tws...))
+	}
+	if s.reg != nil || s.tracer != nil {
+		s.observer = &obs.Observer{Metrics: s.reg, Trace: s.tracer}
+	}
+	return nil
+}
+
+// finish flushes the sinks after the scenario ran: close the trace file,
+// write the metrics snapshot, then serve the introspection endpoints until
+// serveHold returns.
+func (s *obsSinks) finish(stderr io.Writer, metricsOut, serveAddr string) error {
+	if err := s.tracer.Err(); err != nil {
+		return fmt.Errorf("decision trace: %w", err)
+	}
+	if s.traceFile != nil {
+		if err := s.traceFile.Close(); err != nil {
+			return fmt.Errorf("decision trace: %w", err)
+		}
+		fmt.Fprintf(stderr, "wrote %d trace events to %s\n", s.tracer.Events(), s.traceFile.Name())
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return fmt.Errorf("metrics snapshot: %w", err)
+		}
+		if err := s.reg.WritePrometheus(f); err != nil {
+			f.Close()
+			return fmt.Errorf("metrics snapshot: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("metrics snapshot: %w", err)
+		}
+		fmt.Fprintf(stderr, "wrote metrics snapshot to %s\n", metricsOut)
+	}
+	if serveAddr != "" {
+		ln, err := net.Listen("tcp", serveAddr)
+		if err != nil {
+			return fmt.Errorf("-serve: %w", err)
+		}
+		fmt.Fprintf(stderr, "serving on http://%s/ (/metrics, /debug/vars, /debug/pprof); interrupt to stop\n", ln.Addr())
+		srv := &http.Server{Handler: obs.Handler(s.reg)}
+		go srv.Serve(ln)
+		serveHold(ln.Addr().String())
+		srv.Close()
+	}
+	return nil
+}
+
+// emitScheduleTrace records the planned (or replayed) schedule in the
+// decision trace: one "sched" header followed by one "sched.config" per
+// configuration carrying its α and link set. The -gantt chart is rebuilt
+// from exactly these events.
+func emitScheduleTrace(t *obs.Tracer, sch *schedule.Schedule) {
+	if t == nil {
+		return
+	}
+	t.Emit("sched",
+		obs.I("delta", int64(sch.Delta)),
+		obs.I("configs", int64(len(sch.Configs))))
+	for i, cfg := range sch.Configs {
+		pairs := make([][2]int, len(cfg.Links))
+		for j, e := range cfg.Links {
+			pairs[j] = [2]int{e.From, e.To}
+		}
+		t.Emit("sched.config",
+			obs.I("idx", int64(i)),
+			obs.I("alpha", int64(cfg.Alpha)),
+			obs.Pairs("links", pairs))
+	}
+}
+
+// ganttFromTrace decodes the schedule events out of the trace buffer and
+// renders the Gantt chart from them — deliberately consuming the trace
+// rather than the in-memory schedule, so the chart doubles as an end-to-end
+// check that the trace captures the schedule faithfully.
+func ganttFromTrace(w io.Writer, buf *bytes.Buffer, n int) error {
+	recs, err := obs.DecodeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return fmt.Errorf("gantt: decoding decision trace: %w", err)
+	}
+	var sch schedule.Schedule
+	for _, r := range recs {
+		switch r.Ev {
+		case "sched":
+			d, ok := r.Int("delta")
+			if !ok {
+				return fmt.Errorf("gantt: sched event (seq %d) missing delta", r.Seq)
+			}
+			sch.Delta = int(d)
+		case "sched.config":
+			alpha, okA := r.Int("alpha")
+			pairs, okL := r.IntPairs("links")
+			if !okA || !okL {
+				return fmt.Errorf("gantt: sched.config event (seq %d) missing alpha or links", r.Seq)
+			}
+			links := make([]graph.Edge, len(pairs))
+			for i, p := range pairs {
+				links[i] = graph.Edge{From: p[0], To: p[1]}
+			}
+			sch.Configs = append(sch.Configs, schedule.Configuration{Alpha: int(alpha), Links: links})
+		}
+	}
+	return sch.WriteGantt(w, n)
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -66,14 +217,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 		replay     = fs.String("replay", "", "skip planning: replay a schedule JSON file over the load")
 		faultsPath = fs.String("faults", "", "inject a link/node failure trace from a JSON file (see internal/fault)")
 		listAlgos  = fs.Bool("list-algos", false, "print the algorithm registry (name, kind, description; tab-separated) and exit")
+		metricsOut = fs.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file at exit")
+		traceOut   = fs.String("trace-out", "", "write the JSONL decision trace to this file")
+		serveAddr  = fs.String("serve", "", "serve /metrics, /debug/vars, and /debug/pprof on this address after the run, until interrupted")
+		version    = fs.Bool("version", false, "print the version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *version {
+		buildinfo.Print(stdout, "mhsim")
+		return nil
+	}
 	if *listAlgos {
 		listRegistry(stdout)
 		return nil
+	}
+
+	var sinks obsSinks
+	if err := sinks.setup(*metricsOut, *traceOut, *serveAddr, *gantt); err != nil {
+		return err
 	}
 
 	// Resolve the algorithm spec and reject unsupported flag combinations
@@ -85,6 +249,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Seed:     *seed,
 		Hold:     *hold,
 		MultiHop: *multihop,
+		Obs:      sinks.observer,
 	})
 	if err != nil {
 		return err
@@ -125,81 +290,94 @@ func run(args []string, stdout, stderr io.Writer) error {
 			len(faults.Events), len(faults.DeltaJitter))
 	}
 
-	if *replay != "" {
-		sch, err := loadSchedule(*replay, g, *ports)
-		if err != nil {
-			return err
+	// The scenario runs behind a closure so every exit path still flushes
+	// the observability sinks (trace file, metrics snapshot, -serve).
+	scenario := func() error {
+		if *replay != "" {
+			sch, err := loadSchedule(*replay, g, *ports)
+			if err != nil {
+				return err
+			}
+			emitScheduleTrace(sinks.tracer, sch)
+			sim, err := simulate.Run(g, load, sch, simulate.Options{
+				Window: *window, MultiHop: *multihop, Ports: *ports, Faults: faults,
+				Obs: sinks.observer,
+			})
+			if err != nil {
+				return err
+			}
+			report(stdout, sim.Delivered, sim.TotalPackets, sim.DeliveredFraction(),
+				sim.Hops, sim.Utilization(), sim.Configs, len(sch.Configs))
+			if faults != nil {
+				fmt.Fprintf(stdout, "faults: %d active link-slots lost, %d packets stranded in-network\n",
+					sim.FailedLinkSlots, sim.Stranded)
+			}
+			return nil
 		}
-		sim, err := simulate.Run(g, load, sch, simulate.Options{
-			Window: *window, MultiHop: *multihop, Ports: *ports, Faults: faults,
-		})
-		if err != nil {
-			return err
-		}
-		report(stdout, sim.Delivered, sim.TotalPackets, sim.DeliveredFraction(),
-			sim.Hops, sim.Utilization(), sim.Configs, len(sch.Configs))
+
 		if faults != nil {
-			fmt.Fprintf(stdout, "faults: %d active link-slots lost, %d packets stranded in-network\n",
-				sim.FailedLinkSlots, sim.Stranded)
+			runLoad, opt, err := planner.CoreOptions(load, params)
+			if err != nil {
+				return err
+			}
+			return runFaulty(stdout, g, runLoad, faults, opt)
+		}
+
+		out, err := a.Run(g, load, params)
+		if err != nil {
+			return err
+		}
+		if wantSchedule && out.Schedule == nil {
+			return fmt.Errorf("algorithm %q produced no schedule on this instance; nothing to print or save", a.Name())
+		}
+		if out.Schedule != nil {
+			emitScheduleTrace(sinks.tracer, out.Schedule)
+		}
+		if *verbose {
+			for i, cfg := range out.Schedule.Configs {
+				fmt.Fprintf(stdout, "  config %3d: %s\n", i, cfg)
+			}
+		}
+		if *gantt {
+			if err := ganttFromTrace(stdout, sinks.ganttBuf, g.N()); err != nil {
+				return err
+			}
+		}
+		if *saveSched != "" {
+			if err := out.Schedule.SaveFile(*saveSched); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "wrote schedule to %s\n", *saveSched)
+		}
+
+		switch a.Kind() {
+		case algo.Online:
+			fmt.Fprintf(stdout, "%s: delivered %d/%d (%.2f%%), %d packet-hops, %d reconfigurations\n",
+				out.Algo, out.Delivered, out.Total, 100*out.DeliveredFraction(), out.Hops, out.Reconfigs)
+		case algo.Bound:
+			fmt.Fprintf(stdout, "%s: delivered %d/%d (%.2f%%), utilization %.2f%%\n",
+				strings.ToUpper(out.Algo), out.Delivered, out.Total, 100*out.DeliveredFraction(), 100*out.Utilization())
+		default:
+			if out.Plan != nil && out.Schedule != nil {
+				fmt.Fprintf(stdout, "plan: %d configurations, cost %d/%d slots, %d iterations\n",
+					len(out.Schedule.Configs), out.Schedule.Cost(), *window, out.Plan.Iterations)
+			}
+			if out.Measured {
+				report(stdout, out.Delivered, out.Total, out.DeliveredFraction(),
+					out.Hops, out.Utilization(), out.ConfigsReplayed, out.Reconfigs)
+			} else {
+				// Plans whose bookkeeping is authoritative (Octopus+, eclipse,
+				// eclipse-pp, hybrid) are reported from it.
+				fmt.Fprintf(stdout, "plan bookkeeping: delivered %d/%d (%.2f%%), %d packet-hops\n",
+					out.Delivered, out.Total, 100*out.DeliveredFraction(), out.Hops)
+			}
 		}
 		return nil
 	}
-
-	if faults != nil {
-		runLoad, opt, err := planner.CoreOptions(load, params)
-		if err != nil {
-			return err
-		}
-		return runFaulty(stdout, g, runLoad, faults, opt)
-	}
-
-	out, err := a.Run(g, load, params)
-	if err != nil {
+	if err := scenario(); err != nil {
 		return err
 	}
-	if wantSchedule && out.Schedule == nil {
-		return fmt.Errorf("algorithm %q produced no schedule on this instance; nothing to print or save", a.Name())
-	}
-	if *verbose {
-		for i, cfg := range out.Schedule.Configs {
-			fmt.Fprintf(stdout, "  config %3d: %s\n", i, cfg)
-		}
-	}
-	if *gantt {
-		if err := out.Schedule.WriteGantt(stdout, g.N()); err != nil {
-			return err
-		}
-	}
-	if *saveSched != "" {
-		if err := out.Schedule.SaveFile(*saveSched); err != nil {
-			return err
-		}
-		fmt.Fprintf(stderr, "wrote schedule to %s\n", *saveSched)
-	}
-
-	switch a.Kind() {
-	case algo.Online:
-		fmt.Fprintf(stdout, "%s: delivered %d/%d (%.2f%%), %d packet-hops, %d reconfigurations\n",
-			out.Algo, out.Delivered, out.Total, 100*out.DeliveredFraction(), out.Hops, out.Reconfigs)
-	case algo.Bound:
-		fmt.Fprintf(stdout, "%s: delivered %d/%d (%.2f%%), utilization %.2f%%\n",
-			strings.ToUpper(out.Algo), out.Delivered, out.Total, 100*out.DeliveredFraction(), 100*out.Utilization())
-	default:
-		if out.Plan != nil && out.Schedule != nil {
-			fmt.Fprintf(stdout, "plan: %d configurations, cost %d/%d slots, %d iterations\n",
-				len(out.Schedule.Configs), out.Schedule.Cost(), *window, out.Plan.Iterations)
-		}
-		if out.Measured {
-			report(stdout, out.Delivered, out.Total, out.DeliveredFraction(),
-				out.Hops, out.Utilization(), out.ConfigsReplayed, out.Reconfigs)
-		} else {
-			// Plans whose bookkeeping is authoritative (Octopus+, eclipse,
-			// eclipse-pp, hybrid) are reported from it.
-			fmt.Fprintf(stdout, "plan bookkeeping: delivered %d/%d (%.2f%%), %d packet-hops\n",
-				out.Delivered, out.Total, 100*out.DeliveredFraction(), out.Hops)
-		}
-	}
-	return nil
+	return sinks.finish(stderr, *metricsOut, *serveAddr)
 }
 
 // listRegistry prints the machine-readable algorithm listing: one

@@ -36,6 +36,7 @@ func baseOptions(p Params) core.Options {
 		MultiHop:  p.MultiHop,
 		Matcher:   p.Matcher,
 		Epsilon64: p.Epsilon64,
+		Obs:       p.Obs,
 	}
 }
 
@@ -108,6 +109,7 @@ func (a *coreAlgo) Run(g *graph.Digraph, load *traffic.Load, p Params) (*Outcome
 		MultiHop:  opt.MultiHop,
 		Ports:     opt.Ports,
 		Epsilon64: opt.Epsilon64,
+		Obs:       opt.Obs,
 	})
 	if err != nil {
 		return nil, err

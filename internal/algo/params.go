@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"octopus/internal/core"
+	"octopus/internal/obs"
 )
 
 // Params is the shared parameter spec every registered algorithm runs
@@ -59,6 +60,11 @@ type Params struct {
 	// plan can be audited by core.Result.VerifyPlan (used by the
 	// differential harness; costs memory).
 	KeepTrace bool
+
+	// Obs receives metrics and decision-trace events from the layers the
+	// algorithm runs (core planning, simulation replay, online epochs).
+	// nil disables instrumentation; results are identical either way.
+	Obs *obs.Observer
 }
 
 // rng returns the parameter RNG: Rng when set, otherwise a fresh stream

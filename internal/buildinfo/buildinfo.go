@@ -1,0 +1,67 @@
+// Package buildinfo derives a version string for the octopus binaries from
+// the build metadata the Go toolchain embeds: the main module version plus
+// the VCS revision/time/dirty stamps of the checkout the binary was built
+// from. No version constants to bump, no ldflags to wire.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+)
+
+// Version returns the human-readable version string, e.g.
+//
+//	devel+3f9ac2d71e04 (2026-08-06T10:00:00Z) go1.24.3
+//
+// Falls back to "unknown" when the binary carries no build info (non-module
+// builds).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	return describe(bi)
+}
+
+// describe renders one build-info record (split out for testability).
+func describe(bi *debug.BuildInfo) string {
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev, vcsTime string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			vcsTime = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	out := v
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += "+" + rev
+		if dirty {
+			out += "-dirty"
+		}
+	}
+	if vcsTime != "" {
+		out += " (" + vcsTime + ")"
+	}
+	if bi.GoVersion != "" {
+		out += " " + bi.GoVersion
+	}
+	return out
+}
+
+// Print writes the standard "-version" line for the named command.
+func Print(w io.Writer, cmd string) {
+	fmt.Fprintf(w, "%s %s\n", cmd, Version())
+}

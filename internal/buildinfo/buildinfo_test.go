@@ -1,0 +1,33 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+func TestVersionNonEmpty(t *testing.T) {
+	v := Version()
+	if v == "" {
+		t.Fatal("Version returned an empty string")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	bi := &debug.BuildInfo{GoVersion: "go1.24"}
+	bi.Main.Version = "(devel)"
+	bi.Settings = []debug.BuildSetting{
+		{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+		{Key: "vcs.time", Value: "2026-08-06T00:00:00Z"},
+		{Key: "vcs.modified", Value: "true"},
+	}
+	got := describe(bi)
+	want := "devel+0123456789ab-dirty (2026-08-06T00:00:00Z) go1.24"
+	if got != want {
+		t.Fatalf("describe = %q, want %q", got, want)
+	}
+
+	bare := &debug.BuildInfo{GoVersion: "go1.24"}
+	if got := describe(bare); got != "devel go1.24" {
+		t.Fatalf("bare describe = %q", got)
+	}
+}

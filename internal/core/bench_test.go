@@ -1,10 +1,12 @@
 package core
 
 import (
+	"io"
 	"math/rand"
 	"testing"
 
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 	"octopus/internal/traffic"
 )
 
@@ -33,6 +35,51 @@ func BenchmarkStep(b *testing.B) {
 			g, load := benchInstance(b, 50, 5000)
 			newWarm := func() *Scheduler {
 				s, err := New(g, load, Options{Window: 5000, Delta: 20, Matcher: m.m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, ok, err := s.Step(); err != nil || !ok {
+					b.Fatal("warmup step failed")
+				}
+				return s
+			}
+			s := newWarm()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, ok, err := s.Step()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					b.StopTimer()
+					s = newWarm()
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStepObs measures the cost of the instrumentation seam itself:
+// "off" runs with Options.Obs nil (the default no-op path, one nil check
+// per event — this must stay within noise of BenchmarkStep), "on" attaches
+// a metrics registry and a tracer draining into io.Discard. benchstat of
+// the two quantifies the full-observability overhead.
+func BenchmarkStepObs(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		mk   func() *obs.Observer
+	}{
+		{"off", func() *obs.Observer { return nil }},
+		{"on", func() *obs.Observer {
+			return &obs.Observer{Metrics: obs.NewRegistry(), Trace: obs.NewTracer(io.Discard)}
+		}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			g, load := benchInstance(b, 50, 5000)
+			newWarm := func() *Scheduler {
+				s, err := New(g, load, Options{Window: 5000, Delta: 20, Obs: v.mk()})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -80,6 +80,7 @@ type alphaEval struct {
 // α. Returns a nil link set with benefit 0 when nothing can be served.
 func (s *Scheduler) bestConfiguration(maxAlpha int) ([]graph.Edge, int, int64) {
 	alphas := s.tr.candidateAlphas(maxAlpha)
+	s.lastCandidates = len(alphas)
 	if len(alphas) == 0 {
 		return nil, 0, 0
 	}

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 	"octopus/internal/schedule"
 	"octopus/internal/traffic"
 )
@@ -93,6 +94,12 @@ type Options struct {
 	// are embarrassingly parallel). 0 uses GOMAXPROCS; 1 runs serially.
 	// The result is identical at any parallelism level.
 	Parallelism int
+
+	// Obs receives per-iteration metrics and decision-trace events. nil
+	// (the default) disables instrumentation at the cost of one nil check
+	// per event. Instrumentation is strictly read-only: the planned
+	// schedule is bit-identical with Obs set or nil.
+	Obs *obs.Observer
 }
 
 // Scheduler runs the Octopus greedy loop over a fabric and traffic load.
@@ -113,6 +120,11 @@ type Scheduler struct {
 	// lazily by parallelFor) and the per-iteration α evaluation records.
 	scratch []*evalScratch
 	evals   []alphaEval
+
+	// Pre-bound observability instruments (all nil when opt.Obs is nil)
+	// and the candidate-set size of the current iteration.
+	ins            coreInstruments
+	lastCandidates int
 }
 
 // Result is the outcome of a completed Run: the schedule plus the plan's
@@ -174,6 +186,7 @@ func (s *Scheduler) init() {
 	backtrack := s.opt.MultiRoute && !s.opt.DisableBacktrack
 	s.tr = newRemaining(s.fabric, s.load, s.opt.Epsilon64, s.opt.MultiRoute, backtrack, s.opt.KeepTrace)
 	s.out = schedule.Schedule{Delta: s.opt.Delta}
+	s.ins = bindCoreInstruments(s.opt.Obs)
 }
 
 func checkOptions(opt *Options, load *traffic.Load, bidirectional bool) error {
@@ -247,17 +260,23 @@ func (s *Scheduler) Step() (cfg schedule.Configuration, ok bool, err error) {
 	maxAlpha := s.opt.Window - s.used - s.opt.Delta
 	if maxAlpha <= 0 || s.tr.pending == 0 {
 		s.done = true
+		s.observeDone()
 		return schedule.Configuration{}, false, nil
 	}
+	sp := s.ins.step.Start()
 	links, alpha, benefit := s.bestConfiguration(maxAlpha)
+	sp.End()
 	if benefit <= 0 {
 		s.done = true
+		s.observeDone()
 		return schedule.Configuration{}, false, nil
 	}
+	psi0, delivered0 := s.tr.psi, s.tr.delivered
 	s.tr.apply(links, alpha)
 	cfg = schedule.Configuration{Links: links, Alpha: alpha}
 	s.out.Configs = append(s.out.Configs, cfg)
 	s.used += alpha + s.opt.Delta
+	s.observeIter(alpha, benefit, len(links), s.tr.psi-psi0, s.tr.delivered-delivered0)
 	s.iters++
 	return cfg, true, nil
 }

@@ -207,6 +207,9 @@ type remaining struct {
 	// alphaBuf is the reusable merge buffer of candidateAlphas; the
 	// returned slice aliases it and is valid until the next call.
 	alphaBuf []int
+	// lastRebuilds counts the dirty link summaries the most recent
+	// candidateAlphas call rebuilt (observability only).
+	lastRebuilds int
 }
 
 // newRemaining builds T^r = T.
@@ -419,7 +422,11 @@ func gValueState(ls *linkState, alpha int) int64 {
 // returned slice aliases an internal buffer valid until the next call.
 func (tr *remaining) candidateAlphas(maxAlpha int) []int {
 	buf := tr.alphaBuf[:0]
+	rebuilds := 0
 	for _, ls := range tr.activeStates() {
+		if ls.dirty {
+			rebuilds++
+		}
 		s := ls.summary()
 		for _, a := range s.alphas {
 			buf = append(buf, minInt(a, maxAlpha))
@@ -434,6 +441,7 @@ func (tr *remaining) candidateAlphas(maxAlpha int) []int {
 		}
 	}
 	tr.alphaBuf = buf
+	tr.lastRebuilds = rebuilds
 	return out
 }
 

@@ -14,6 +14,11 @@ package matching
 //
 // The zero Arena is ready to use.
 type Arena struct {
+	// Stats accumulates matcher activity across calls. The arena is
+	// single-goroutine, so plain fields suffice; callers that share work
+	// across arenas (core's per-worker scratch) sum the structs afterwards.
+	Stats Stats
+
 	// Greedy matcher state.
 	pos      []Edge // positive-weight working copy of the input
 	radixBuf []Edge // ping-pong buffer for the radix sort
@@ -29,6 +34,54 @@ type Arena struct {
 	p, way       []int
 	free, path   []int  // unused columns (ascending) / alternating-path columns
 	outX         []Edge // exact result backing
+}
+
+// Stats counts arena matcher activity. All fields are monotone totals
+// over the arena's lifetime. This package stays dependency-free:
+// consumers translate these counts into whatever metrics system they use.
+type Stats struct {
+	GreedyCalls   int64 // GreedyBipartite invocations
+	GreedyEdges   int64 // positive-weight edges considered by greedy calls
+	GreedyMatched int64 // edges emitted by greedy calls
+	ExactCalls    int64 // MaxWeightBipartite invocations
+	ExactRows     int64 // compacted rows solved across exact calls
+	AugmentRounds int64 // shortest-augmenting-path relaxation rounds
+	Grows         int64 // calls that grew arena storage
+	Reuses        int64 // calls served entirely from existing storage
+}
+
+// AddTo accumulates s into dst field by field.
+func (s Stats) AddTo(dst *Stats) {
+	dst.GreedyCalls += s.GreedyCalls
+	dst.GreedyEdges += s.GreedyEdges
+	dst.GreedyMatched += s.GreedyMatched
+	dst.ExactCalls += s.ExactCalls
+	dst.ExactRows += s.ExactRows
+	dst.AugmentRounds += s.AugmentRounds
+	dst.Grows += s.Grows
+	dst.Reuses += s.Reuses
+}
+
+// greedyCap sums the capacities of the greedy-side buffers; comparing it
+// before and after a call detects whether the call had to grow storage.
+func (a *Arena) greedyCap() int {
+	return cap(a.pos) + cap(a.radixBuf) + cap(a.usedFrom) + cap(a.usedTo) + cap(a.outG)
+}
+
+// exactDone closes out one exact call's grow/reuse accounting.
+func (a *Arena) exactDone(capBefore int) {
+	if a.exactCap() > capBefore {
+		a.Stats.Grows++
+	} else {
+		a.Stats.Reuses++
+	}
+}
+
+// exactCap is greedyCap for the Hungarian-side buffers.
+func (a *Arena) exactCap() int {
+	return cap(a.rowID) + cap(a.colID) + cap(a.rows) + cap(a.cols) +
+		cap(a.w) + cap(a.u) + cap(a.v) + cap(a.minv) +
+		cap(a.p) + cap(a.way) + cap(a.free) + cap(a.path) + cap(a.outX)
 }
 
 // growBools returns b extended to length >= n; fresh cells are false.
@@ -65,6 +118,7 @@ func growInt64s(s []int64, n int) []int64 {
 // GreedyBipartite; see its documentation. The returned slice is valid
 // until the next call on the arena.
 func (a *Arena) GreedyBipartite(n int, edges []Edge) ([]Edge, int64) {
+	capBefore := a.greedyCap()
 	pos := a.pos[:0]
 	for _, e := range edges {
 		if e.Weight > 0 {
@@ -96,6 +150,14 @@ func (a *Arena) GreedyBipartite(n int, edges []Edge) ([]Edge, int64) {
 		usedFrom[e.From] = false
 		usedTo[e.To] = false
 	}
+	a.Stats.GreedyCalls++
+	a.Stats.GreedyEdges += int64(len(pos))
+	a.Stats.GreedyMatched += int64(len(m))
+	if a.greedyCap() > capBefore {
+		a.Stats.Grows++
+	} else {
+		a.Stats.Reuses++
+	}
 	if len(m) == 0 {
 		return nil, 0
 	}
@@ -106,6 +168,8 @@ func (a *Arena) GreedyBipartite(n int, edges []Edge) ([]Edge, int64) {
 // MaxWeightBipartite; see its documentation. The returned slice is valid
 // until the next call on the arena.
 func (a *Arena) MaxWeightBipartite(n int, edges []Edge) ([]Edge, int64) {
+	capBefore := a.exactCap()
+	a.Stats.ExactCalls++
 	// Compact the instance to active rows/columns.
 	a.rowID = growIDs(a.rowID, n)
 	a.colID = growIDs(a.colID, n)
@@ -127,8 +191,10 @@ func (a *Arena) MaxWeightBipartite(n int, edges []Edge) ([]Edge, int64) {
 	a.rows, a.cols = rows, cols
 	nr, nc := len(rows), len(cols)
 	if nr == 0 {
+		a.exactDone(capBefore)
 		return nil, 0
 	}
+	a.Stats.ExactRows += int64(nr)
 	// The shortest-augmenting-path formulation below needs nr <= nc.
 	// Pad columns with dummies of weight 0 if necessary.
 	if nc < nr {
@@ -191,6 +257,7 @@ func (a *Arena) MaxWeightBipartite(n int, edges []Edge) ([]Edge, int64) {
 	//     same D, so their outcomes are unchanged, and the O(nc) decrement
 	//     sweep disappears. (Values are bounded far below inf, so the offset
 	//     cannot overflow.)
+	var rounds int64
 	for i := 1; i <= nr; i++ {
 		p[0] = i
 		j0 := 0
@@ -202,6 +269,7 @@ func (a *Arena) MaxWeightBipartite(n int, edges []Edge) ([]Edge, int64) {
 		path := a.path[:0]
 		var d int64 = 0 // cumulative delta this row
 		for {
+			rounds++
 			if j0 != 0 {
 				// Retire j0 from the free list, preserving order.
 				k := 0
@@ -259,6 +327,8 @@ func (a *Arena) MaxWeightBipartite(n int, edges []Edge) ([]Edge, int64) {
 		}
 	}
 	a.outX = m
+	a.Stats.AugmentRounds += rounds
+	a.exactDone(capBefore)
 	if len(m) == 0 {
 		return nil, 0
 	}

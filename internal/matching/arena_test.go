@@ -1,0 +1,82 @@
+package matching
+
+import "testing"
+
+func TestArenaStats(t *testing.T) {
+	var a Arena
+	edges := []Edge{
+		{From: 0, To: 1, Weight: 5},
+		{From: 1, To: 0, Weight: 3},
+		{From: 0, To: 0, Weight: 1},
+		{From: 1, To: 1, Weight: -2}, // filtered out
+	}
+
+	a.GreedyBipartite(2, edges)
+	s := a.Stats
+	if s.GreedyCalls != 1 || s.GreedyEdges != 3 || s.GreedyMatched != 2 {
+		t.Fatalf("greedy stats after first call: %+v", s)
+	}
+	if s.Grows != 1 || s.Reuses != 0 {
+		t.Fatalf("first greedy call should grow: %+v", s)
+	}
+	a.GreedyBipartite(2, edges)
+	if a.Stats.GreedyCalls != 2 || a.Stats.Reuses != 1 {
+		t.Fatalf("second greedy call should reuse: %+v", a.Stats)
+	}
+
+	a.MaxWeightBipartite(2, edges)
+	s = a.Stats
+	if s.ExactCalls != 1 || s.ExactRows != 2 {
+		t.Fatalf("exact stats after first call: %+v", s)
+	}
+	if s.AugmentRounds < 2 {
+		t.Fatalf("exact call recorded %d augment rounds for 2 rows", s.AugmentRounds)
+	}
+	if s.Grows != 2 {
+		t.Fatalf("first exact call should grow: %+v", s)
+	}
+	a.MaxWeightBipartite(2, edges)
+	if a.Stats.ExactCalls != 2 || a.Stats.Reuses != 2 {
+		t.Fatalf("second exact call should reuse: %+v", a.Stats)
+	}
+
+	// Empty instance still counts the call but solves no rows.
+	a.MaxWeightBipartite(2, nil)
+	if a.Stats.ExactCalls != 3 || a.Stats.ExactRows != 4 {
+		t.Fatalf("empty exact call stats: %+v", a.Stats)
+	}
+
+	var sum Stats
+	a.Stats.AddTo(&sum)
+	a.Stats.AddTo(&sum)
+	if sum.ExactCalls != 2*a.Stats.ExactCalls || sum.GreedyEdges != 2*a.Stats.GreedyEdges ||
+		sum.AugmentRounds != 2*a.Stats.AugmentRounds || sum.Grows != 2*a.Stats.Grows {
+		t.Fatalf("AddTo not field-complete: %+v vs %+v", sum, a.Stats)
+	}
+}
+
+// TestArenaStatsDoNotPerturbResults guards the read-only invariant: a
+// stats-bearing arena must return the same matchings as the package-level
+// allocate-fresh entry points.
+func TestArenaStatsDoNotPerturbResults(t *testing.T) {
+	edges := []Edge{
+		{From: 0, To: 2, Weight: 9},
+		{From: 1, To: 2, Weight: 8},
+		{From: 1, To: 3, Weight: 7},
+		{From: 2, To: 3, Weight: 6},
+		{From: 0, To: 3, Weight: 5},
+	}
+	var a Arena
+	for i := 0; i < 3; i++ {
+		gotM, gotW := a.MaxWeightBipartite(4, edges)
+		wantM, wantW := MaxWeightBipartite(4, edges)
+		if gotW != wantW || len(gotM) != len(wantM) {
+			t.Fatalf("iter %d: exact arena diverged: %v/%d vs %v/%d", i, gotM, gotW, wantM, wantW)
+		}
+		for j := range gotM {
+			if gotM[j] != wantM[j] {
+				t.Fatalf("iter %d: exact edge %d differs: %v vs %v", i, j, gotM[j], wantM[j])
+			}
+		}
+	}
+}

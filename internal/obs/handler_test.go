@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("octopus_iterations_total").Add(7)
+	reg.Gauge("octopus_queue_depth").Set(12)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	code, body, hdr := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, "octopus_iterations_total 7") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "octopus_queue_depth 12") {
+		t.Fatalf("/metrics missing gauge:\n%s", body)
+	}
+
+	code, body, _ = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	oct, ok := vars["octopus"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/vars missing octopus section: %s", body)
+	}
+	if oct["octopus_iterations_total"].(float64) != 7 {
+		t.Fatalf("octopus vars wrong: %v", oct)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Fatalf("/debug/vars missing standard expvar keys: %s", body)
+	}
+
+	code, body, _ = get("/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline status=%d len=%d", code, len(body))
+	}
+	code, body, _ = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index broken: status=%d", code)
+	}
+}

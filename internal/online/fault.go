@@ -8,6 +8,7 @@ import (
 	"octopus/internal/core"
 	"octopus/internal/fault"
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 	"octopus/internal/traffic"
 	"octopus/internal/verify"
 )
@@ -135,8 +136,13 @@ func RunFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 	}
 	var ref *Result
 	if !opt.SkipReference {
+		// The reference run is an internal baseline, not part of the
+		// observed run: detach the observer so its metrics and trace
+		// reflect only the degraded schedule.
+		refOpt := opt.Options
+		refOpt.Core.Obs = nil
 		var err error
-		ref, err = Run(g, arrivals, opt.Options)
+		ref, err = Run(g, arrivals, refOpt)
 		if err != nil {
 			return nil, fmt.Errorf("online: failure-free reference run: %w", err)
 		}
@@ -186,6 +192,7 @@ func RunFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 		}
 		repairBacklog(fabric, backlog, origin, arrivalSrc, &stat)
 		res.Dropped += stat.Dropped
+		observeRepair(opt.Core.Obs, &stat)
 
 		if len(backlog.Flows) == 0 {
 			if nextArrival == len(queue) {
@@ -242,6 +249,7 @@ func RunFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 		stat.Offered = sres.TotalPackets
 		stat.Delivered = sres.Delivered
 		stat.Backlog = sres.Pending
+		observeEpoch(opt.Core.Obs, &stat.EpochStat, len(sres.Schedule.Configs))
 		if opt.KeepPlans {
 			stat.Plan = sres
 			stat.Load = backlog.Clone()
@@ -253,6 +261,31 @@ func RunFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 		nextID = maxNew + 1
 	}
 	return res, nil
+}
+
+// observeRepair records an epoch boundary's fault-repair outcome: the
+// degradation counters always accumulate; the "online.repair" trace event
+// fires only at boundaries where failures were visible or repairs happened,
+// so failure-free epochs stay silent in the trace.
+func observeRepair(o *obs.Observer, stat *FaultEpochStat) {
+	if !o.Enabled() {
+		return
+	}
+	o.Counter("octopus_online_rerouted_total").Add(int64(stat.Rerouted))
+	o.Counter("octopus_online_stranded_requeued_total").Add(int64(stat.Stranded))
+	o.Counter("octopus_online_dropped_total").Add(int64(stat.Dropped))
+	if stat.FailedLinks == 0 && stat.FailedNodes == 0 &&
+		stat.Rerouted == 0 && stat.Stranded == 0 && stat.Dropped == 0 {
+		return
+	}
+	o.Tracer().Emit("online.repair",
+		obs.I("epoch", int64(stat.Epoch)),
+		obs.I("failed_links", int64(stat.FailedLinks)),
+		obs.I("failed_nodes", int64(stat.FailedNodes)),
+		obs.I("rerouted", int64(stat.Rerouted)),
+		obs.I("stranded", int64(stat.Stranded)),
+		obs.I("dropped", int64(stat.Dropped)),
+	)
 }
 
 // repairBacklog rewrites the backlog in place against the surviving fabric:

@@ -15,6 +15,7 @@ import (
 
 	"octopus/internal/core"
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 	"octopus/internal/traffic"
 )
 
@@ -25,6 +26,9 @@ type Arrival struct {
 }
 
 // Options configures an online run. Core.Window is the epoch length.
+// Core.Obs, when set, additionally receives the online layer's per-epoch
+// metrics and "online.epoch" trace events (the per-epoch planner runs
+// already inherit it through Core).
 type Options struct {
 	Core core.Options
 	// MaxEpochs caps the run (0 = run until every admitted flow is
@@ -83,6 +87,28 @@ func (r *Result) MeanCompletionEpochs(arrivals []Arrival, window int) float64 {
 		return 0
 	}
 	return total / float64(count)
+}
+
+// observeEpoch records one scheduled epoch on the observer: the per-epoch
+// counters, the live queue-depth gauge, and the "online.epoch" trace event.
+// Read-only with respect to the run; a nil observer costs the Enabled check.
+func observeEpoch(o *obs.Observer, stat *EpochStat, reconfigs int) {
+	if !o.Enabled() {
+		return
+	}
+	o.Counter("octopus_online_epochs_total").Inc()
+	o.Counter("octopus_online_arrived_total").Add(int64(stat.Arrived))
+	o.Counter("octopus_online_delivered_total").Add(int64(stat.Delivered))
+	o.Counter("octopus_online_reconfigs_total").Add(int64(reconfigs))
+	o.Gauge("octopus_online_backlog").Set(int64(stat.Backlog))
+	o.Tracer().Emit("online.epoch",
+		obs.I("epoch", int64(stat.Epoch)),
+		obs.I("arrived", int64(stat.Arrived)),
+		obs.I("offered", int64(stat.Offered)),
+		obs.I("delivered", int64(stat.Delivered)),
+		obs.I("backlog", int64(stat.Backlog)),
+		obs.I("reconfigs", int64(reconfigs)),
+	)
 }
 
 // Run schedules the arrivals over successive epochs.
@@ -185,6 +211,7 @@ func Run(g *graph.Digraph, arrivals []Arrival, opt Options) (*Result, error) {
 			Delivered: sres.Delivered,
 			Backlog:   sres.Pending,
 		}
+		observeEpoch(opt.Core.Obs, &stat, len(sres.Schedule.Configs))
 		if opt.KeepPlans {
 			stat.Plan = sres
 			stat.Load = backlog.Clone()

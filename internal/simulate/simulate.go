@@ -20,6 +20,7 @@ import (
 
 	"octopus/internal/fault"
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 	"octopus/internal/schedule"
 	"octopus/internal/traffic"
 )
@@ -77,6 +78,11 @@ type Options struct {
 	// delta jitter extends the reconfiguration delay preceding the k-th
 	// configuration. Nil replays failure-free.
 	Faults *fault.Trace
+
+	// Obs receives per-configuration replay metrics and "sim.config" /
+	// "sim.done" trace events. nil disables instrumentation; the measured
+	// Result is identical either way.
+	Obs *obs.Observer
 }
 
 // Result reports the outcome of a simulation.
@@ -303,6 +309,12 @@ func Run(g *graph.Digraph, load *traffic.Load, sch *schedule.Schedule, opt Optio
 	if opt.Faults != nil {
 		cur = opt.Faults.Cursor()
 	}
+	// Pre-bound instruments; all nil (pure no-ops) when opt.Obs is nil.
+	cfgCount := opt.Obs.Counter("octopus_sim_configs_total")
+	delivCount := opt.Obs.Counter("octopus_sim_delivered_total")
+	hopCount := opt.Obs.Counter("octopus_sim_hops_total")
+	lostCount := opt.Obs.Counter("octopus_sim_failed_link_slots_total")
+	tracer := opt.Obs.Tracer()
 	slot := 0 // global slot counter
 	for k, cfg := range sch.Configs {
 		// Reconfiguration delay (plus any trace jitter) precedes each
@@ -321,6 +333,7 @@ func Run(g *graph.Digraph, load *traffic.Load, sch *schedule.Schedule, opt Optio
 		}
 		st.res.Configs++
 		st.res.ActiveLinkSlots += int64(alpha) * int64(len(cfg.Links))
+		delivered0, hops0, lost0 := st.res.Delivered, st.res.Hops, st.res.FailedLinkSlots
 
 		if opt.MultiHop {
 			st.runMultiHop(cfg.Links, slot, alpha, cur)
@@ -338,9 +351,34 @@ func Run(g *graph.Digraph, load *traffic.Load, sch *schedule.Schedule, opt Optio
 		if opt.TrackBuffers {
 			st.measureBuffers()
 		}
+		cfgCount.Inc()
+		delivCount.Add(int64(st.res.Delivered - delivered0))
+		hopCount.Add(int64(st.res.Hops - hops0))
+		lostCount.Add(st.res.FailedLinkSlots - lost0)
+		tracer.Emit("sim.config",
+			obs.I("idx", int64(k)),
+			obs.I("slot", int64(slot)),
+			obs.I("alpha", int64(alpha)),
+			obs.I("links", int64(len(cfg.Links))),
+			obs.I("delivered", int64(st.res.Delivered-delivered0)),
+			obs.I("hops", int64(st.res.Hops-hops0)),
+			obs.I("lost_slots", st.res.FailedLinkSlots-lost0),
+		)
 	}
 	st.res.SlotsUsed = slot
 	st.countStranded()
+	if opt.Obs.Enabled() {
+		opt.Obs.Gauge("octopus_sim_stranded").Set(int64(st.res.Stranded))
+		tracer.Emit("sim.done",
+			obs.I("configs", int64(st.res.Configs)),
+			obs.I("delivered", int64(st.res.Delivered)),
+			obs.I("total", int64(st.res.TotalPackets)),
+			obs.I("hops", int64(st.res.Hops)),
+			obs.I("psi", st.res.Psi),
+			obs.I("stranded", int64(st.res.Stranded)),
+			obs.I("slots_used", int64(st.res.SlotsUsed)),
+		)
+	}
 	return &st.res, nil
 }
 
