@@ -68,8 +68,15 @@ type benchFile struct {
 }
 
 func matcherName(m core.Matcher) string {
-	if m == core.MatcherGreedy {
+	switch m {
+	case core.MatcherGreedy:
 		return "greedy"
+	case core.MatcherDense:
+		return "dense"
+	case core.MatcherSparse:
+		return "sparse"
+	case core.MatcherWarm:
+		return "warm"
 	}
 	return "exact"
 }

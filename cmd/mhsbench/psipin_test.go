@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPsiPinnedAgainstBaseline diffs the committed bench files: every
+// (algo, nodes, window, delta, matcher) point present in both
+// BENCH_pr6.json and BENCH_pr5.json must report bit-identical psi_per_op
+// and delivered_per_op. Timing fields are machine-dependent and free to
+// move; the schedule quality trajectory is not — the exact-matcher rework
+// (sparse dispatch, scan optimizations, parallel probes) is pinned to
+// reproduce the previous solver's equal-weight tie-breaks exactly, and
+// this test is the repo-level tripwire for any silent drift.
+func TestPsiPinnedAgainstBaseline(t *testing.T) {
+	prev := loadBenchFile(t, "BENCH_pr5.json")
+	cur := loadBenchFile(t, "BENCH_pr6.json")
+	shared := 0
+	for key, p := range prev {
+		c, ok := cur[key]
+		if !ok {
+			continue
+		}
+		shared++
+		if c.Psi != p.Psi {
+			t.Errorf("%s: psi_per_op drifted: %d -> %d", key, p.Psi, c.Psi)
+		}
+		if c.Delivered != p.Delivered {
+			t.Errorf("%s: delivered_per_op drifted: %d -> %d", key, p.Delivered, c.Delivered)
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no shared bench points between BENCH_pr5.json and BENCH_pr6.json; the pin is vacuous")
+	}
+	t.Logf("psi pinned on %d shared bench points", shared)
+}
+
+type benchPoint struct {
+	Psi       int64
+	Delivered int64
+}
+
+func loadBenchFile(t *testing.T, name string) map[string]benchPoint {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", name))
+	if err != nil {
+		t.Fatalf("reading %s: %v", name, err)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Results []struct {
+			Algo      string `json:"algo"`
+			Nodes     int    `json:"nodes"`
+			Window    int    `json:"window"`
+			Delta     int    `json:"delta"`
+			Matcher   string `json:"matcher"`
+			Psi       int64  `json:"psi_per_op"`
+			Delivered int64  `json:"delivered_per_op"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parsing %s: %v", name, err)
+	}
+	if doc.Schema != "mhsbench-bench/v1" {
+		t.Fatalf("%s: unexpected schema %q", name, doc.Schema)
+	}
+	out := make(map[string]benchPoint, len(doc.Results))
+	for _, r := range doc.Results {
+		key := fmt.Sprintf("%s/n%d/w%d/d%d/%s", r.Algo, r.Nodes, r.Window, r.Delta, r.Matcher)
+		out[key] = benchPoint{Psi: r.Psi, Delivered: r.Delivered}
+	}
+	return out
+}

@@ -30,13 +30,14 @@ func (a *coreAlgo) CoreOptions(load *traffic.Load, p Params) (*traffic.Load, cor
 // baseOptions maps the generic Params fields onto core.Options.
 func baseOptions(p Params) core.Options {
 	return core.Options{
-		Window:    p.Window,
-		Delta:     p.Delta,
-		Ports:     p.Ports,
-		MultiHop:  p.MultiHop,
-		Matcher:   p.Matcher,
-		Epsilon64: p.Epsilon64,
-		Obs:       p.Obs,
+		Window:      p.Window,
+		Delta:       p.Delta,
+		Ports:       p.Ports,
+		MultiHop:    p.MultiHop,
+		Matcher:     p.Matcher,
+		Epsilon64:   p.Epsilon64,
+		Parallelism: p.Parallelism,
+		Obs:         p.Obs,
 	}
 }
 

@@ -61,6 +61,11 @@ type Params struct {
 	// differential harness; costs memory).
 	KeepTrace bool
 
+	// Parallelism is the worker count of the core planner's per-α
+	// evaluation; 0 uses GOMAXPROCS, 1 runs serially. Results are
+	// identical at every setting.
+	Parallelism int
+
 	// Obs receives metrics and decision-trace events from the layers the
 	// algorithm runs (core planning, simulation replay, online epochs).
 	// nil disables instrumentation; results are identical either way.
@@ -76,15 +81,25 @@ func (p Params) rng() *rand.Rand {
 	return rand.New(rand.NewSource(p.Seed))
 }
 
-// ParseMatcher maps a matcher name onto core.Matcher.
+// ParseMatcher maps a matcher name onto core.Matcher. "exact" auto-selects
+// between the dense and sparse exact paths (bit-identical); "dense" and
+// "sparse" force one of them (A/B modes, still bit-identical); "warm"
+// retains dual potentials across iterations (equal matching weight, but
+// possibly a different equal-weight optimum — see DESIGN.md §13).
 func ParseMatcher(s string) (core.Matcher, error) {
 	switch s {
 	case "exact":
 		return core.MatcherExact, nil
 	case "greedy":
 		return core.MatcherGreedy, nil
+	case "dense":
+		return core.MatcherDense, nil
+	case "sparse":
+		return core.MatcherSparse, nil
+	case "warm":
+		return core.MatcherWarm, nil
 	}
-	return 0, fmt.Errorf("unknown matcher %q (want exact or greedy)", s)
+	return 0, fmt.Errorf("unknown matcher %q (want exact, greedy, dense, sparse, or warm)", s)
 }
 
 // ParseSpec resolves an algorithm spec string with the uniform grammar
@@ -121,7 +136,7 @@ func ParseSpec(spec string, base Params) (Algorithm, Params, error) {
 // specKeys names every key ParseSpec accepts, for error messages.
 var specKeys = []string{
 	"backtrack", "delta", "eps64", "hold", "hys64", "keeptrace",
-	"matcher", "multihop", "ports", "rate", "seed", "slots", "window",
+	"matcher", "multihop", "par", "ports", "rate", "seed", "slots", "window",
 }
 
 // set applies one key=value option to the params.
@@ -149,6 +164,8 @@ func (p *Params) set(key, val string) error {
 		return parseInt(&p.Delta)
 	case "ports":
 		return parseInt(&p.Ports)
+	case "par":
+		return parseInt(&p.Parallelism)
 	case "eps64":
 		return parseInt(&p.Epsilon64)
 	case "hold":

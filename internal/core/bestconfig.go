@@ -20,6 +20,7 @@ import (
 type evalScratch struct {
 	we       []matching.Edge
 	row, col []int64 // length fabric.N(), all-zero between rowColUB calls
+	dirty    []int   // warm-start dirty-node buffer
 	arena    matching.Arena
 }
 
@@ -52,6 +53,26 @@ func (b *best) beats(benefit int64, alpha int) bool {
 		return benefit > 0
 	}
 	return benefit*int64(b.alpha+b.delta) > b.benefit*int64(alpha+b.delta)
+}
+
+// exceeds reports whether the incumbent's benefit per unit cost strictly
+// exceeds (benefit, alpha)'s. Note !exceeds is weaker than beats: on equal
+// ratios neither holds.
+func (b *best) exceeds(benefit int64, alpha int) bool {
+	if b.benefit == 0 {
+		return false
+	}
+	return b.benefit*int64(alpha+b.delta) > benefit*int64(b.alpha+b.delta)
+}
+
+// warmEntry is the per-α retained state of the MatcherWarm mode: the dual
+// potentials recorded by the α's previous exact solve plus the remaining-
+// traffic tick at which that solve ran (-1 before the first). Links whose
+// queues changed after `since` determine the dirty-row hint of the next
+// solve.
+type warmEntry struct {
+	ws    matching.WarmState
+	since int64
 }
 
 // alphaEval is the per-α evaluation record of one greedy iteration.
@@ -90,6 +111,7 @@ func (s *Scheduler) bestConfiguration(maxAlpha int) ([]graph.Edge, int, int64) {
 	bst := &best{delta: s.opt.Delta}
 	if s.opt.AlphaSearch == AlphaBinary {
 		s.ternarySearch(alphas, bst)
+		sortLinks(bst.links)
 		return bst.links, bst.alpha, bst.benefit
 	}
 
@@ -100,14 +122,18 @@ func (s *Scheduler) bestConfiguration(maxAlpha int) ([]graph.Edge, int, int64) {
 	for i := range evals {
 		evals[i] = alphaEval{}
 	}
-	exactBipartite := s.ufabric == nil && !s.opt.MultiHop && s.opt.Ports == 1 && s.opt.Matcher == MatcherExact
+	exactBipartite := s.ufabric == nil && !s.opt.MultiHop && s.opt.Ports == 1 && s.opt.Matcher.exact()
+	s.gbufValid = false
+	if exactBipartite {
+		s.buildGBuf(alphas)
+	}
 
 	// Phase 1: cheap evaluation of every α.
 	s.parallelFor(len(alphas), func(w, i int) {
 		sc := s.scratch[w]
 		a := alphas[i]
 		if exactBipartite {
-			we := s.weightedEdges(sc, a)
+			we := s.weightedEdgesAt(sc, i, a)
 			if len(we) == 0 {
 				return
 			}
@@ -127,6 +153,7 @@ func (s *Scheduler) bestConfiguration(maxAlpha int) ([]graph.Edge, int, int64) {
 		for i, a := range alphas {
 			bst.consider(evals[i].links, a, evals[i].w)
 		}
+		sortLinks(bst.links)
 		return bst.links, bst.alpha, bst.benefit
 	}
 
@@ -135,29 +162,233 @@ func (s *Scheduler) bestConfiguration(maxAlpha int) ([]graph.Edge, int, int64) {
 	for i, a := range alphas {
 		seed.consider(evals[i].greedyLinks, a, evals[i].greedyW)
 	}
-	// Phase 2: exact matchings only where the upper bound can still
-	// strictly beat the best greedy seed. Membership depends only on
-	// phase-1 output, so the computed set — and hence the final result —
-	// is deterministic. An exact matching skipped here satisfies
-	// exact(α) <= ub(α) <= seed ratio, so it can never be the unique
-	// argmax.
-	s.parallelFor(len(alphas), func(w, i int) {
-		if !seed.beats(evals[i].ub, alphas[i]) {
-			return
+	// Phase 2: exact matchings only where an upper bound can still strictly
+	// beat the best greedy seed. Two admissible bounds apply: the row/column
+	// bound of phase 1, and twice the greedy weight (the greedy matcher is a
+	// 1/2-approximation, so exact(α) <= 2·greedy(α)). Membership depends
+	// only on phase-1 output, so the computed set is deterministic.
+	//
+	// The two filters carry different tie semantics, deliberately. The
+	// row/column filter is the historical one (solve only when ub strictly
+	// beats the seed): a skipped α has exact(α) <= ub(α) <= seed ratio, so
+	// its exact matching never strictly exceeds the seed and can never be
+	// chosen. The 2·greedy filter must be strictly weaker on ties — it
+	// skips only when the seed ratio strictly exceeds 2·greedy(α) — because
+	// with exact(α) == seed ratio exactly, the ascending-α reduction below
+	// could legitimately pick exact(α) (it precedes the seed's own entry
+	// when α is smaller); strictness guarantees skipped α's satisfy
+	// exact(α) < seed ratio and stay non-winners.
+	sel := s.selBuf[:0]
+	for i := range alphas {
+		if seed.beats(evals[i].ub, alphas[i]) && !seed.exceeds(2*evals[i].greedyW, alphas[i]) {
+			sel = append(sel, i)
 		}
-		sc := s.scratch[w]
-		we := s.weightedEdges(sc, alphas[i])
-		m, mw := sc.arena.MaxWeightBipartite(s.fabric.N(), we)
-		evals[i].exactLinks = toLinks(m)
-		evals[i].exactW = mw
+	}
+	s.selBuf = sel
+	selected := len(sel)
+	if s.opt.Matcher == MatcherWarm {
+		// Pre-create the per-α warm entries single-threaded so the workers
+		// below only read the map.
+		for _, i := range sel {
+			s.warmFor(alphas[i])
+		}
+	}
+	// Solve in descending upper-bound-ratio order (ascending α on ties) in
+	// fixed-size chunks, tightening an incumbent between chunks: a solve is
+	// skipped once the incumbent's ratio strictly exceeds its upper bound.
+	// Such a solve satisfies exact(α) <= ub(α) < incumbent <= final best
+	// ratio, so dropping it removes neither the argmax nor any tie the
+	// ascending-α reduction below could prefer — the chosen configuration
+	// is identical to solving the whole set (and independent of
+	// parallelism, since pruning decisions happen only at the
+	// single-threaded chunk boundaries). The chunk order does not leak into
+	// the result: the reduction still walks evals in ascending α.
+	slices.SortFunc(sel, func(x, y int) int {
+		bx := evals[x].ub * int64(alphas[y]+s.opt.Delta)
+		by := evals[y].ub * int64(alphas[x]+s.opt.Delta)
+		switch {
+		case bx > by:
+			return -1
+		case bx < by:
+			return 1
+		}
+		return alphas[x] - alphas[y]
 	})
+	inc := *seed
+	solved := 0
+	for lo := 0; lo < len(sel); lo += phase2Chunk {
+		hi := lo + phase2Chunk
+		if hi > len(sel) {
+			hi = len(sel)
+		}
+		// Compact the chunk down to the solves the incumbent cannot prune,
+		// using the tighter of the two bounds (strictly, as above).
+		k := lo
+		for _, i := range sel[lo:hi] {
+			bound := evals[i].ub
+			if g2 := 2 * evals[i].greedyW; g2 < bound {
+				bound = g2
+			}
+			if !inc.exceeds(bound, alphas[i]) {
+				sel[k] = i
+				k++
+			}
+		}
+		s.parallelFor(k-lo, func(w, ci int) {
+			i := sel[lo+ci]
+			sc := s.scratch[w]
+			we := s.weightedEdgesAt(sc, i, alphas[i])
+			m, mw := s.exactSolve(sc, alphas[i], we)
+			evals[i].exactLinks = toLinks(m)
+			evals[i].exactW = mw
+		})
+		for _, i := range sel[lo:k] {
+			inc.consider(evals[i].exactLinks, alphas[i], evals[i].exactW)
+		}
+		solved += k - lo
+	}
+	s.prunedExact += int64(selected - solved)
 	// Final reduction mirrors the sequential order: for each α ascending,
 	// greedy first, then the exact matching if computed.
 	for i, a := range alphas {
 		bst.consider(evals[i].greedyLinks, a, evals[i].greedyW)
 		bst.consider(evals[i].exactLinks, a, evals[i].exactW)
 	}
+	sortLinks(bst.links)
 	return bst.links, bst.alpha, bst.benefit
+}
+
+// phase2Chunk is the number of exact solves launched between incumbent
+// updates in phase 2. Smaller chunks prune more aggressively but
+// synchronize more often.
+const phase2Chunk = 8
+
+// gbufMaxEntries caps the batched g-value buffer (8 MiB of int64); larger
+// iterations fall back to the per-α summary walk, which computes the same
+// values.
+const gbufMaxEntries = 1 << 20
+
+// buildGBuf precomputes g(link, α) for every active link and candidate α in
+// one pass per link: the candidate α's are ascending, so each summary's
+// prefix arrays are walked once with a rolling cursor instead of one binary
+// search per (link, α) pair. Values are exactly gValueState's.
+func (s *Scheduler) buildGBuf(alphas []int) {
+	states := s.tr.activeStates()
+	nA := len(alphas)
+	need := nA * len(states)
+	if need == 0 || need > gbufMaxEntries {
+		return
+	}
+	if cap(s.gbuf) < need {
+		s.gbuf = make([]int64, need)
+	}
+	g := s.gbuf[:need]
+	for li, ls := range states {
+		row := g[li*nA : (li+1)*nA]
+		sum := ls.summary()
+		n := len(sum.prefC)
+		if n == 0 {
+			for ai := range row {
+				row[ai] = 0
+			}
+			continue
+		}
+		top := sum.prefC[n-1]
+		k := 0
+		for ai, a := range alphas {
+			if a >= top {
+				row[ai] = sum.prefB[n-1]
+				continue
+			}
+			for sum.prefC[k] < a {
+				k++
+			}
+			row[ai] = sum.prefB[k] - int64(sum.prefC[k]-a)*sum.bws[k]
+		}
+	}
+	s.gbuf = g
+	s.gbufStride = nA
+	s.gbufValid = true
+}
+
+// weightedEdgesAt is weightedEdges fed from the batched g-value buffer when
+// one was built this iteration (ai indexes the candidate-α slice); it falls
+// back to the per-α walk otherwise. Both produce the identical edge list.
+func (s *Scheduler) weightedEdgesAt(sc *evalScratch, ai int, a int) []matching.Edge {
+	if !s.gbufValid {
+		return s.weightedEdges(sc, a)
+	}
+	we := sc.we[:0]
+	edges := s.tr.activeEdges()
+	nA := s.gbufStride
+	for li, e := range edges {
+		if w := s.gbuf[li*nA+ai]; w > 0 {
+			we = append(we, matching.Edge{From: e.From, To: e.To, Weight: w})
+		}
+	}
+	sc.we = we
+	return we
+}
+
+// warmFor returns the warm-start entry of α, creating it if absent. Callers
+// on parallel paths must pre-create entries single-threaded first (phase 2
+// does); after that the map is only read.
+func (s *Scheduler) warmFor(a int) *warmEntry {
+	e := s.warm[a]
+	if e == nil {
+		if s.warm == nil {
+			s.warm = make(map[int]*warmEntry)
+		}
+		e = &warmEntry{since: -1}
+		s.warm[a] = e
+	}
+	return e
+}
+
+// dirtyNodes lists, deduplicated and ascending, the From-nodes of active
+// links whose queues changed after tick `since` — the warm-start dirty-row
+// hint. Active links are ordered by (From, To) and never leave the active
+// list, so every row whose g-values could differ from the α's previous
+// solve is covered.
+func (s *Scheduler) dirtyNodes(sc *evalScratch, since int64) []int {
+	edges := s.tr.activeEdges()
+	states := s.tr.activeStates()
+	buf := sc.dirty[:0]
+	last := -1
+	for i, ls := range states {
+		if ls.lastTick > since && edges[i].From != last {
+			last = edges[i].From
+			buf = append(buf, last)
+		}
+	}
+	sc.dirty = buf
+	return buf
+}
+
+// exactSolve runs the configured exact matcher on the weighted edges of α.
+// MatcherExact auto-dispatches dense/sparse (bit-identical either way);
+// MatcherDense and MatcherSparse force one path; MatcherWarm retains duals
+// per α across iterations, handing the solver the dirty rows accumulated
+// since that α's previous solve.
+func (s *Scheduler) exactSolve(sc *evalScratch, a int, we []matching.Edge) ([]matching.Edge, int64) {
+	n := s.fabric.N()
+	switch s.opt.Matcher {
+	case MatcherDense:
+		return sc.arena.MaxWeightBipartiteDense(n, we)
+	case MatcherSparse:
+		return sc.arena.MaxWeightBipartiteSparse(n, we)
+	case MatcherWarm:
+		e := s.warmFor(a)
+		var dirty []int
+		if e.since >= 0 {
+			dirty = s.dirtyNodes(sc, e.since)
+		}
+		m, w := sc.arena.MaxWeightBipartiteWarm(n, we, &e.ws, dirty)
+		e.since = s.tr.tick
+		return m, w
+	default:
+		return sc.arena.MaxWeightBipartite(n, we)
+	}
 }
 
 // parallelFor runs f(worker, 0..n-1) across Options.Parallelism workers
@@ -280,7 +511,7 @@ func (s *Scheduler) evalAlpha(sc *evalScratch, a int, bst *best) {
 		if s.opt.Matcher == MatcherGreedy {
 			return
 		}
-		m, w := sc.arena.MaxWeightBipartite(n, we)
+		m, w := s.exactSolve(sc, a, we)
 		bst.consider(toLinks(m), a, w)
 	}
 }
@@ -333,6 +564,10 @@ func rowColUB(we []matching.Edge, row, col []int64) int64 {
 	return rs
 }
 
+// toLinks copies a matching into a link set. The copy is NOT sorted:
+// candidate link sets only feed best.consider (order-insensitive), and
+// bestConfiguration sorts the single winning set before returning, which is
+// cheaper than sorting every candidate.
 func toLinks(m []matching.Edge) []graph.Edge {
 	if len(m) == 0 {
 		return nil
@@ -341,7 +576,6 @@ func toLinks(m []matching.Edge) []graph.Edge {
 	for i, e := range m {
 		links[i] = graph.Edge{From: e.From, To: e.To}
 	}
-	sortLinks(links)
 	return links
 }
 
@@ -378,7 +612,9 @@ func (s *Scheduler) evalMultiPort(sc *evalScratch, a int, bst *best) {
 		if s.opt.Matcher == MatcherGreedy {
 			m, w = sc.arena.GreedyBipartite(n, avail)
 		} else {
-			m, w = sc.arena.MaxWeightBipartite(n, avail)
+			// checkOptions rejects MatcherWarm with Ports > 1, so this only
+			// dispatches the stateless exact variants.
+			m, w = s.exactSolve(sc, a, avail)
 		}
 		if w <= 0 {
 			break

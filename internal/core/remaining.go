@@ -36,10 +36,12 @@ type subflow struct {
 }
 
 // markDirty invalidates the cached summary of every queue holding one of
-// the subflow's entries; called whenever its packet count changes.
-func (sf *subflow) markDirty() {
+// the subflow's entries and stamps the change tick; called whenever the
+// subflow's packet count changes.
+func (tr *remaining) markDirty(sf *subflow) {
 	for _, ls := range sf.homes {
 		ls.dirty = true
+		ls.lastTick = tr.tick
 	}
 }
 
@@ -98,6 +100,11 @@ type linkState struct {
 	// (candidateAlphas at the start of each bestConfiguration), so the
 	// parallel evaluation phase only ever reads clean summaries.
 	dirty bool
+	// lastTick is remaining.tick at the queue's most recent content change
+	// (entry inserted or a count changed). The warm-start matcher compares
+	// it against the tick of an α's previous solve to build the dirty-row
+	// hint; unlike dirty it is never cleared.
+	lastTick int64
 }
 
 func (ls *linkState) insert(e *entry) {
@@ -198,6 +205,11 @@ type remaining struct {
 	trace     []servedRecord
 	keepTrace bool
 	configIdx int
+	// tick counts configuration applications for change stamping: it
+	// increments at the start of every apply, and every queue content
+	// change stamps its link's lastTick with the current value (so a
+	// post-apply tick value strictly exceeds every pre-apply stamp).
+	tick int64
 	touched   []*subflow // subflows with frozen packets from the current apply
 
 	// building marks the bulk-construction phase of newRemaining: entries
@@ -288,6 +300,7 @@ func (tr *remaining) addEntry(e graph.Edge, en *entry) {
 	} else {
 		ls.insert(en)
 	}
+	ls.lastTick = tr.tick
 	en.sf.homes = append(en.sf.homes, ls)
 }
 
@@ -477,7 +490,7 @@ func (tr *remaining) serveLink(e graph.Edge, alpha int, backtrackPass bool) int 
 		}
 		t := minInt(alpha-served, movable)
 		sf.count -= t
-		sf.markDirty()
+		tr.markDirty(sf)
 		served += t
 		if tr.keepTrace {
 			tr.trace = append(tr.trace, servedRecord{
@@ -519,7 +532,7 @@ func (tr *remaining) serveLink(e graph.Edge, alpha int, backtrackPass bool) int 
 		} else {
 			dst.count += t
 			dst.frozen += t
-			dst.markDirty()
+			tr.markDirty(dst)
 		}
 		tr.touched = append(tr.touched, dst)
 	}
@@ -530,6 +543,7 @@ func (tr *remaining) serveLink(e graph.Edge, alpha int, backtrackPass bool) int 
 // all links first (direct-link delivery takes priority), then normal
 // advancement with each link's leftover capacity.
 func (tr *remaining) apply(links []graph.Edge, alpha int) {
+	tr.tick++
 	servedBT := make(map[graph.Edge]int, len(links))
 	if tr.backtrack {
 		for _, e := range links {

@@ -80,3 +80,69 @@ func TestArenaStatsDoNotPerturbResults(t *testing.T) {
 		}
 	}
 }
+
+// TestArenaShrinkThenGrow guards against stale state leaking across
+// instance sizes: a big solve, then a small one, then big again must match
+// a fresh arena at every step, on every exact path (the dense potentials,
+// the sparse stamps/generator, and the warm scratch all outlive the small
+// call).
+func TestArenaShrinkThenGrow(t *testing.T) {
+	big := func(seed int64) []Edge {
+		var edges []Edge
+		for f := 0; f < 64; f++ {
+			for d := 0; d < 5; d++ {
+				to := (f*3 + d*7 + int(seed)) % 64
+				edges = append(edges, Edge{From: f, To: to, Weight: int64((f+d)%11) + 1 + seed})
+			}
+		}
+		return edges
+	}
+	small := []Edge{{0, 1, 3}, {1, 0, 2}, {2, 2, 7}}
+
+	var a Arena
+	var ws WarmState
+	steps := []struct {
+		name  string
+		n     int
+		edges []Edge
+	}{
+		{"big-1", 64, big(1)},
+		{"small", 4, small},
+		{"big-2", 64, big(2)},
+		{"small-again", 4, small},
+		{"big-3", 64, big(1)},
+	}
+	for _, st := range steps {
+		for _, path := range []string{"auto", "dense", "sparse", "warm"} {
+			var gotM, wantM []Edge
+			var gotW, wantW int64
+			var fresh Arena
+			switch path {
+			case "auto":
+				gotM, gotW = a.MaxWeightBipartite(st.n, st.edges)
+				wantM, wantW = fresh.MaxWeightBipartite(st.n, st.edges)
+			case "dense":
+				gotM, gotW = a.MaxWeightBipartiteDense(st.n, st.edges)
+				wantM, wantW = fresh.MaxWeightBipartiteDense(st.n, st.edges)
+			case "sparse":
+				gotM, gotW = a.MaxWeightBipartiteSparse(st.n, st.edges)
+				wantM, wantW = fresh.MaxWeightBipartiteSparse(st.n, st.edges)
+			case "warm":
+				// Size changes invalidate ws, so each warm call here solves
+				// cold through the shared arena scratch: weight must still
+				// match a fresh arena exactly.
+				gotM, gotW = a.MaxWeightBipartiteWarm(st.n, st.edges, &ws, nil)
+				wantM, wantW = fresh.MaxWeightBipartiteDense(st.n, st.edges)
+			}
+			if gotW != wantW || len(gotM) != len(wantM) {
+				t.Fatalf("%s/%s: reused arena diverged: %d edges/%d vs %d edges/%d",
+					st.name, path, len(gotM), gotW, len(wantM), wantW)
+			}
+			for i := range gotM {
+				if gotM[i] != wantM[i] {
+					t.Fatalf("%s/%s: edge %d differs: %+v vs %+v", st.name, path, i, gotM[i], wantM[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package matching
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// decodeFuzzInstance turns raw fuzz bytes into a bipartite instance: byte 0
+// picks n in [1, 32], then each 4-byte chunk is one edge (from, to, 2-byte
+// weight biased so some edges are non-positive and duplicates are common).
+func decodeFuzzInstance(data []byte) (int, []Edge) {
+	if len(data) == 0 {
+		return 1, nil
+	}
+	n := int(data[0])%32 + 1
+	data = data[1:]
+	var edges []Edge
+	for len(data) >= 4 {
+		f := int(data[0]) % n
+		t := int(data[1]) % n
+		w := int64(binary.LittleEndian.Uint16(data[2:4])) - 8
+		edges = append(edges, Edge{From: f, To: t, Weight: w})
+		data = data[4:]
+		if len(edges) == 512 {
+			break
+		}
+	}
+	return n, edges
+}
+
+// FuzzMaxWeightBipartite pushes random edge lists through the dense,
+// sparse, and warm exact paths, asserting matching validity everywhere,
+// bit-identity between dense and sparse, weight agreement for warm, and —
+// on small instances — agreement with the brute-force oracle. The warm
+// path is exercised twice: a recording call, then a second call with a
+// mutated final row and an honest dirty hint.
+func FuzzMaxWeightBipartite(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 0, 1, 9, 0, 1, 0, 9, 0, 2, 3, 1, 0})
+	f.Add([]byte{1, 0, 0, 8, 0, 0, 0, 7, 0})
+	// All-non-positive boundary: weights <= 0 after the -8 bias.
+	f.Add([]byte{6, 0, 1, 3, 0, 2, 3, 0, 0, 4, 5, 5, 0})
+	// Wide instance with duplicates and heavy ties.
+	f.Add([]byte{
+		16,
+		0, 1, 20, 0, 1, 0, 20, 0, 2, 1, 20, 0, 3, 1, 20, 0,
+		4, 5, 20, 0, 5, 4, 20, 0, 6, 7, 255, 0, 7, 6, 255, 0,
+		0, 1, 20, 0, 8, 8, 9, 0, 9, 9, 9, 0, 10, 8, 9, 0,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, edges := decodeFuzzInstance(data)
+		var a Arena
+		dm, dw := a.MaxWeightBipartiteDense(n, edges)
+		sm, sw := a.MaxWeightBipartiteSparse(n, edges)
+		am, aw := a.MaxWeightBipartite(n, edges)
+		if dw != sw || dw != aw {
+			t.Fatalf("weight disagreement: dense=%d sparse=%d auto=%d", dw, sw, aw)
+		}
+		if len(dm) != len(sm) || len(dm) != len(am) {
+			t.Fatalf("result size disagreement: %d/%d/%d", len(dm), len(sm), len(am))
+		}
+		for i := range dm {
+			if dm[i] != sm[i] || dm[i] != am[i] {
+				t.Fatalf("edge %d: dense %+v sparse %+v auto %+v", i, dm[i], sm[i], am[i])
+			}
+		}
+		checkValidMatching(t, n, edges, dm, dw)
+
+		var ws WarmState
+		if _, ww := a.MaxWeightBipartiteWarm(n, edges, &ws, nil); ww != dw {
+			t.Fatalf("warm cold weight %d != dense %d", ww, dw)
+		}
+		// Mutate row n-1 (replace its outgoing edges), warm-solve with an
+		// honest dirty hint, and cross-check against a cold solve.
+		mutated := edges[:0:0]
+		for _, e := range edges {
+			if e.From != n-1 {
+				mutated = append(mutated, e)
+			}
+		}
+		if n > 1 {
+			mutated = append(mutated, Edge{From: n - 1, To: 0, Weight: int64(len(edges)%7) + 1})
+		}
+		wm, ww := a.MaxWeightBipartiteWarm(n, mutated, &ws, []int{n - 1})
+		_, cw := a.MaxWeightBipartite(n, mutated)
+		if ww != cw {
+			t.Fatalf("warm weight %d != cold %d after mutation", ww, cw)
+		}
+		checkValidMatching(t, n, mutated, wm, ww)
+
+		if len(edges) <= 10 && n <= 6 {
+			if _, bw := BruteForceBipartite(n, edges); bw != dw {
+				t.Fatalf("oracle weight %d != solver %d (n=%d edges=%v)", bw, dw, n, edges)
+			}
+		}
+	})
+}

@@ -10,13 +10,19 @@ const inf = math.MaxInt64 / 4
 // result, so the matching is free to leave nodes unmatched.
 //
 // The implementation is the classic Hungarian algorithm with potentials
-// (Jonker-Volgenant style shortest augmenting paths) on a dense matrix over
-// only the nodes incident to a positive-weight edge, giving O(k^3) time for
-// k active nodes. It stands in for the OR-Tools linear-assignment solver
-// the paper used; both compute the same optimum.
+// (Jonker-Volgenant style shortest augmenting paths) over only the nodes
+// incident to a positive-weight edge. Dense instances run on a matrix in
+// O(k^3) time for k active nodes; below the density threshold documented in
+// arena.go the solver switches to a CSR adjacency-list path whose
+// relaxation rounds cost O(deg + touched) instead of O(k), degrading
+// per-row to the dense scan when augmenting paths grow long. Both paths
+// produce bit-identical matchings (sparse.go documents the emulation
+// argument) and stand in for the OR-Tools linear-assignment solver the
+// paper used; all compute the same optimum.
 // Hot-path callers should prefer Arena.MaxWeightBipartite, which holds the
-// implementation and recycles the dense matrix and potential arrays across
-// calls.
+// implementation and recycles the matrices and potential arrays across
+// calls; Arena.MaxWeightBipartiteWarm additionally retains dual potentials
+// between calls (see warm.go).
 func MaxWeightBipartite(n int, edges []Edge) ([]Edge, int64) {
 	var a Arena
 	return a.MaxWeightBipartite(n, edges)

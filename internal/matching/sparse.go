@@ -1,0 +1,348 @@
+package matching
+
+// Sparse exact matcher: shortest augmenting paths over CSR adjacency lists.
+//
+// The solver is an exact emulation of the dense Jonker-Volgenant loop in
+// arena.go — every relaxation round selects the same column, applies the
+// same dual delta, and records the same alternating path, so the final
+// assignment (and even Stats.AugmentRounds) is bit-identical to the dense
+// path. The emulation rests on three observations about the dense loop on
+// our cost structure (cost = -weight <= 0, absent pairs cost 0):
+//
+//  1. Within one row insertion, a free column's potential v[j] never
+//     changes: v is only updated for columns on the alternating path, and
+//     those are exactly the columns retired from the free list (plus the
+//     virtual column 0). So for every free column, v[j] is its value at the
+//     start of the row.
+//
+//  2. Each round ("event") t relaxes every free column j with candidate
+//     value a_t - c(i0_t, j) - v[j] under the row-normalized representation,
+//     where a_t = d_t - u[i0_t] depends only on the event. For columns with
+//     no explicit edge from i0_t the candidate is a_t - v[j]. Hence a column
+//     that has never been adjacent to any event so far ("pure") has
+//     minv[j] = A_t - v[j] and way[j] = W_t, where (A_t, W_t) is the
+//     running minimum of (a_s, j0_s) over events s <= t, keeping the
+//     earliest event on ties — exactly the strict-< update order of the
+//     dense scan.
+//
+//  3. The dense per-round argmin takes the smallest minv over free columns,
+//     breaking ties toward the smallest column index (the ascending scan
+//     only replaces on strict <). Over pure columns, minv[j] = A_t - v[j]
+//     is minimized by the lexicographically smallest (-v[j], j) — a static
+//     order per row, maintained across rows as a sorted array. Over
+//     "touched" columns (adjacent to some past event) minv is maintained
+//     explicitly. The global argmin is the lexicographic min of the two.
+//
+// Per round the solver therefore does O(deg(i0) + |touched|) work instead
+// of O(nc). Long augmenting paths make |touched| approach nc, at which
+// point the row degrades to a dense-style scan over a materialized free
+// list (still fed from CSR edges, no matrix) — the degraded rounds execute
+// the very scan they emulate, so bit-identity is preserved by construction.
+//
+// The idiom follows the sparse-assignment formulations used for hybrid
+// circuit/packet switch scheduling (Liu et al., PAPERS.md), adapted to
+// preserve the dense solver's tie-breaks exactly.
+
+// solveSparse runs the CSR solver over the compacted instance and returns
+// the relaxation-round count. Requires rowID/colID to be live (compactExact
+// has run, restoreIDMaps has not).
+func (a *Arena) solveSparse(edges []Edge, nr, nc int) int64 {
+	// Build the CSR adjacency over compact ids (columns 1-indexed).
+	// Duplicate edges are kept: a larger duplicate weight yields a smaller
+	// candidate value, so the strict-< relaxation keeps the max, exactly as
+	// the dense matrix build does.
+	a.csrOff = growInts(a.csrOff, nr+1)
+	a.csrCur = growInts(a.csrCur, nr+1)
+	off, cur := a.csrOff, a.csrCur
+	for i := range off {
+		off[i] = 0
+	}
+	m := 0
+	rowID, colID := a.rowID, a.colID
+	for _, e := range edges {
+		if e.Weight <= 0 {
+			continue
+		}
+		off[rowID[e.From]+1]++
+		m++
+	}
+	for i := 1; i <= nr; i++ {
+		off[i] += off[i-1]
+	}
+	copy(cur, off)
+	a.csrCol = growInts(a.csrCol, m)
+	a.csrW = growInt64s(a.csrW, m)
+	csrCol, csrW := a.csrCol, a.csrW
+	for _, e := range edges {
+		if e.Weight <= 0 {
+			continue
+		}
+		i := rowID[e.From]
+		k := cur[i]
+		cur[i]++
+		csrCol[k] = colID[e.To] + 1
+		csrW[k] = e.Weight
+	}
+
+	a.prepDuals(nc)
+	a.touched = growInts(a.touched, nc)
+	a.retJ = growInts(a.retJ, nc)
+	a.negKey = growInt64s(a.negKey, nc)
+	a.negCol = growInts(a.negCol, nc)
+	a.negBufK = growInt64s(a.negBufK, nc)
+	a.negBufC = growInts(a.negBufC, nc)
+	a.newKey = growInt64s(a.newKey, nc)
+	a.newCol = growInts(a.newCol, nc)
+	a.touchTick = growInt64s(a.touchTick, nc+1)
+	a.retireTick = growInt64s(a.retireTick, nc+1)
+	a.adjTick = growInt64s(a.adjTick, nc+1)
+	// Stamp arrays may be freshly allocated (all zero) or reused from a
+	// previous call; epochs are monotone and start above zero, so stale
+	// stamps can never collide with the current row or event.
+	if a.rowEpoch == 0 {
+		a.rowEpoch, a.eventEpoch = 1, 1
+	}
+	u, v, p, way, minv := a.u, a.v, a.p, a.way, a.minv
+	touchT, retireT, adjT := a.touchTick, a.retireTick, a.adjTick
+	// Free-column generator: all columns, keys -v[j] = 0, ascending j.
+	negKey, negCol := a.negKey[:nc], a.negCol[:nc]
+	for j := 0; j < nc; j++ {
+		negKey[j] = 0
+		negCol[j] = j + 1
+	}
+
+	var rounds int64
+	// Degrade a row to dense-style scans once the touched set is this big;
+	// purely a performance knob (both modes are exact emulations).
+	limit := nc/3 + 4
+	for i := 1; i <= nr; i++ {
+		a.rowEpoch++
+		rowE := a.rowEpoch
+		p[0] = i
+		j0 := 0
+		touched := a.touched[:0]
+		retJ := a.retJ[:0]
+		aMin := int64(inf) // running (a_s, j0_s) min over this row's events
+		aWay := 0
+		cursor := 0 // front of the pure-column generator
+		var d int64
+		degraded := false
+		k1 := -1 // j0's position in free while degraded
+		free := a.free[:0]
+		path := a.path[:0]
+		for {
+			rounds++
+			if j0 != 0 {
+				retJ = append(retJ, j0)
+				retireT[j0] = rowE
+				if degraded {
+					// k1 is j0's position in free, recorded by the scan (or
+					// the materialization) that selected it.
+					free = append(free[:k1], free[k1+1:]...)
+				}
+			}
+			path = append(path, j0)
+			i0 := p[j0]
+			aT := d - u[i0]
+			deltaN := int64(inf)
+			j1 := 0
+			a.eventEpoch++
+			evE := a.eventEpoch
+			if !degraded {
+				// Explicit candidates along i0's adjacency.
+				for k := off[i0-1]; k < off[i0]; k++ {
+					j := csrCol[k]
+					if retireT[j] == rowE {
+						continue
+					}
+					if touchT[j] != rowE {
+						// Promote j from pure to touched: materialize the
+						// running zero-candidate minimum it held implicitly.
+						touchT[j] = rowE
+						touched = append(touched, j)
+						if aMin >= inf {
+							minv[j] = inf
+						} else {
+							minv[j] = aMin - v[j]
+							way[j] = aWay
+						}
+					}
+					adjT[j] = evE
+					if c := aT - csrW[k] - v[j]; c < minv[j] {
+						minv[j] = c
+						way[j] = j0
+					}
+				}
+				// Implicit zero candidates for touched, non-adjacent columns.
+				for _, j := range touched {
+					if retireT[j] == rowE || adjT[j] == evE {
+						continue
+					}
+					if c := aT - v[j]; c < minv[j] {
+						minv[j] = c
+						way[j] = j0
+					}
+				}
+				if aT < aMin {
+					aMin = aT
+					aWay = j0
+				}
+				// Argmin over touched (smallest index on ties) ...
+				for _, j := range touched {
+					if retireT[j] == rowE {
+						continue
+					}
+					if mv := minv[j]; mv < deltaN || (mv == deltaN && j < j1) {
+						deltaN = mv
+						j1 = j
+					}
+				}
+				// ... merged with the pure-column generator front.
+				for cursor < nc {
+					j := negCol[cursor]
+					if touchT[j] == rowE || retireT[j] == rowE {
+						cursor++
+						continue
+					}
+					if pv := aMin + negKey[cursor]; pv < deltaN || (pv == deltaN && j < j1) {
+						deltaN = pv
+						j1 = j
+						way[j1] = aWay // freeze for augmentation
+					}
+					break
+				}
+			} else {
+				// Degraded round: the dense scan, fed from CSR.
+				for k := off[i0-1]; k < off[i0]; k++ {
+					j := csrCol[k]
+					if retireT[j] == rowE {
+						continue
+					}
+					adjT[j] = evE
+					if c := aT - csrW[k] - v[j]; c < minv[j] {
+						minv[j] = c
+						way[j] = j0
+					}
+				}
+				for k, j := range free {
+					if adjT[j] != evE {
+						if c := aT - v[j]; c < minv[j] {
+							minv[j] = c
+							way[j] = j0
+						}
+					}
+					if minv[j] < deltaN {
+						deltaN = minv[j]
+						j1 = j
+						k1 = k
+					}
+				}
+			}
+			delta := deltaN - d
+			for _, jj := range path {
+				u[p[jj]] += delta
+				v[jj] -= delta
+			}
+			d = deltaN
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+			if !degraded && len(touched) >= limit {
+				degraded = true
+				// Materialize the dense state: ascending free list (j0 is
+				// retired at the top of the next round, exactly like the
+				// dense loop) and explicit minv/way for pure columns.
+				for j := 1; j <= nc; j++ {
+					if retireT[j] == rowE {
+						continue
+					}
+					if j == j0 {
+						k1 = len(free)
+					}
+					free = append(free, j)
+					if touchT[j] != rowE {
+						touchT[j] = rowE
+						if aMin >= inf {
+							minv[j] = inf
+						} else {
+							minv[j] = aMin - v[j]
+							way[j] = aWay
+						}
+					}
+				}
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+		// Repair the generator: retired columns' v changed while on the
+		// alternating path; re-insert them at their new keys.
+		if len(retJ) > 0 {
+			a.repairNegV(nc, retJ, rowE)
+			negKey, negCol = a.negKey[:nc], a.negCol[:nc]
+		}
+		a.retJ = retJ
+	}
+	return rounds
+}
+
+// repairNegV rebuilds the sorted (-v[j], j) generator after a row retired
+// the columns in retJ (stamped with rowE in retireTick). One merge pass:
+// stale entries are dropped by stamp, updated entries are merged back in
+// sorted order. O(nc + len(retJ) log len(retJ)) via ping-pong buffers.
+func (a *Arena) repairNegV(nc int, retJ []int, rowE int64) {
+	nk, ncl := a.newKey[:0], a.newCol[:0]
+	for _, j := range retJ {
+		nk = append(nk, -a.v[j])
+		ncl = append(ncl, j)
+	}
+	// Insertion sort by (key, col): retJ is short for typical rows.
+	for i := 1; i < len(nk); i++ {
+		k, c := nk[i], ncl[i]
+		j := i - 1
+		for j >= 0 && (nk[j] > k || (nk[j] == k && ncl[j] > c)) {
+			nk[j+1], ncl[j+1] = nk[j], ncl[j]
+			j--
+		}
+		nk[j+1], ncl[j+1] = k, c
+	}
+	bk, bc := a.negBufK[:0], a.negBufC[:0]
+	ki := 0
+	for i := 0; i < nc; i++ {
+		j := a.negCol[i]
+		if a.retireTick[j] == rowE {
+			continue // re-inserted from nk/ncl below
+		}
+		key := a.negKey[i]
+		for ki < len(nk) && (nk[ki] < key || (nk[ki] == key && ncl[ki] < j)) {
+			bk = append(bk, nk[ki])
+			bc = append(bc, ncl[ki])
+			ki++
+		}
+		bk = append(bk, key)
+		bc = append(bc, j)
+	}
+	for ki < len(nk) {
+		bk = append(bk, nk[ki])
+		bc = append(bc, ncl[ki])
+		ki++
+	}
+	a.negKey, a.negBufK = bk, a.negKey
+	a.negCol, a.negBufC = bc, a.negCol
+	a.newKey, a.newCol = nk, ncl
+}
+
+// csrWeight returns the (max duplicate) weight of the compact pair (i, j),
+// or 0 if absent. Used only during result extraction.
+func (a *Arena) csrWeight(i, j int) int64 {
+	var wt int64
+	for k := a.csrOff[i-1]; k < a.csrOff[i]; k++ {
+		if a.csrCol[k] == j && a.csrW[k] > wt {
+			wt = a.csrW[k]
+		}
+	}
+	return wt
+}

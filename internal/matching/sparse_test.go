@@ -1,0 +1,235 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randInstance draws a random bipartite instance: n nodes per side, edge
+// probability densityNum/densityDen, weights in [-5, maxW] (so some edges
+// are non-positive and must be ignored), with occasional duplicates.
+func randInstance(rng *rand.Rand, n int, density float64, maxW int64) []Edge {
+	var edges []Edge
+	for f := 0; f < n; f++ {
+		for t := 0; t < n; t++ {
+			if rng.Float64() >= density {
+				continue
+			}
+			w := rng.Int63n(maxW+6) - 5
+			edges = append(edges, Edge{From: f, To: t, Weight: w})
+			if rng.Float64() < 0.05 {
+				edges = append(edges, Edge{From: f, To: t, Weight: rng.Int63n(maxW + 1)})
+			}
+		}
+	}
+	// Shuffle so compaction order is not the generation order.
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	return edges
+}
+
+// checkValidMatching asserts m is a matching over the positive edges of the
+// instance: endpoints distinct, weights consistent with the (max-duplicate)
+// input weight, total correct.
+func checkValidMatching(t *testing.T, n int, edges, m []Edge, total int64) {
+	t.Helper()
+	maxW := map[[2]int]int64{}
+	for _, e := range edges {
+		if e.Weight <= 0 {
+			continue
+		}
+		k := [2]int{e.From, e.To}
+		if e.Weight > maxW[k] {
+			maxW[k] = e.Weight
+		}
+	}
+	usedF, usedT := map[int]bool{}, map[int]bool{}
+	var sum int64
+	for _, e := range m {
+		if e.Weight <= 0 {
+			t.Fatalf("non-positive matched edge %+v", e)
+		}
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			t.Fatalf("edge endpoints out of range: %+v", e)
+		}
+		if usedF[e.From] || usedT[e.To] {
+			t.Fatalf("matching reuses a node: %+v", e)
+		}
+		usedF[e.From], usedT[e.To] = true, true
+		if maxW[[2]int{e.From, e.To}] != e.Weight {
+			t.Fatalf("matched edge %+v does not carry the input max weight %d",
+				e, maxW[[2]int{e.From, e.To}])
+		}
+		sum += e.Weight
+	}
+	if sum != total {
+		t.Fatalf("reported total %d != summed %d", total, sum)
+	}
+}
+
+// TestSparseMatchesDenseBitIdentical is the tentpole pin: across random
+// instances spanning sparse and dense regimes, the CSR path must return the
+// same edges in the same order as the dense path — and even spend the same
+// number of augment rounds, since it emulates the dense loop event for
+// event.
+func TestSparseMatchesDenseBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var dense, sparse Arena
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + rng.Intn(64)
+		if trial%10 == 0 {
+			n = 64 + rng.Intn(193) // up to 256
+		}
+		density := []float64{0.02, 0.05, 0.1, 0.3, 0.9}[rng.Intn(5)]
+		maxW := []int64{1, 3, 1000, 1 << 40}[rng.Intn(4)]
+		edges := randInstance(rng, n, density, maxW)
+
+		dr0, sr0 := dense.Stats.AugmentRounds, sparse.Stats.AugmentRounds
+		dm, dw := dense.MaxWeightBipartiteDense(n, edges)
+		sm, sw := sparse.MaxWeightBipartiteSparse(n, edges)
+		if dw != sw || len(dm) != len(sm) {
+			t.Fatalf("trial %d (n=%d d=%v): weight/len mismatch dense %d/%d sparse %d/%d",
+				trial, n, density, dw, len(dm), sw, len(sm))
+		}
+		for i := range dm {
+			if dm[i] != sm[i] {
+				t.Fatalf("trial %d: edge %d differs: dense %+v sparse %+v", trial, i, dm[i], sm[i])
+			}
+		}
+		if dr := dense.Stats.AugmentRounds - dr0; dr != sparse.Stats.AugmentRounds-sr0 {
+			t.Fatalf("trial %d: augment rounds differ: dense %d sparse %d",
+				trial, dr, sparse.Stats.AugmentRounds-sr0)
+		}
+		checkValidMatching(t, n, edges, sm, sw)
+	}
+	if dense.Stats.DenseSolves == 0 || sparse.Stats.SparseSolves == 0 {
+		t.Fatalf("forced paths not exercised: %+v %+v", dense.Stats, sparse.Stats)
+	}
+}
+
+// TestExactVsBruteForce pins all three exact paths to the brute-force
+// oracle on small instances.
+func TestExactVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a Arena
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		edges := randInstance(rng, n, 0.6, 9)
+		_, want := BruteForceBipartite(n, edges)
+
+		dm, dw := a.MaxWeightBipartiteDense(n, edges)
+		sm, sw := a.MaxWeightBipartiteSparse(n, edges)
+		var ws WarmState
+		wm, ww := a.MaxWeightBipartiteWarm(n, edges, &ws, nil)
+		if dw != want || sw != want || ww != want {
+			t.Fatalf("trial %d (n=%d): dense=%d sparse=%d warm=%d oracle=%d edges=%v",
+				trial, n, dw, sw, ww, want, edges)
+		}
+		checkValidMatching(t, n, edges, dm, dw)
+		checkValidMatching(t, n, edges, sm, sw)
+		checkValidMatching(t, n, edges, wm, ww)
+	}
+}
+
+// TestExactBoundaries covers the all-non-positive and empty-active-set
+// boundary instances on every path.
+func TestExactBoundaries(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+	}{
+		{"nil", 4, nil},
+		{"empty", 4, []Edge{}},
+		{"all-non-positive", 4, []Edge{{0, 1, 0}, {1, 2, -3}, {2, 0, -1}}},
+		{"n-zero", 0, nil},
+	}
+	var a Arena
+	for _, tc := range cases {
+		var ws WarmState
+		for _, solve := range []func() ([]Edge, int64){
+			func() ([]Edge, int64) { return a.MaxWeightBipartite(tc.n, tc.edges) },
+			func() ([]Edge, int64) { return a.MaxWeightBipartiteDense(tc.n, tc.edges) },
+			func() ([]Edge, int64) { return a.MaxWeightBipartiteSparse(tc.n, tc.edges) },
+			func() ([]Edge, int64) { return a.MaxWeightBipartiteWarm(tc.n, tc.edges, &ws, nil) },
+			// Second warm call exercises the retained-empty-state path.
+			func() ([]Edge, int64) { return a.MaxWeightBipartiteWarm(tc.n, tc.edges, &ws, nil) },
+		} {
+			m, w := solve()
+			if m != nil || w != 0 {
+				t.Fatalf("%s: expected empty result, got %v/%d", tc.name, m, w)
+			}
+		}
+	}
+}
+
+// TestExactMoreRowsThanCols exercises the nc < nr padding branch (more
+// distinct From-nodes than To-nodes) on both cold paths.
+func TestExactMoreRowsThanCols(t *testing.T) {
+	edges := []Edge{
+		{From: 0, To: 0, Weight: 5},
+		{From: 1, To: 0, Weight: 7},
+		{From: 2, To: 0, Weight: 6},
+		{From: 3, To: 1, Weight: 2},
+		{From: 4, To: 1, Weight: 1},
+	}
+	var a Arena
+	dm, dw := a.MaxWeightBipartiteDense(8, edges)
+	sm, sw := a.MaxWeightBipartiteSparse(8, edges)
+	if dw != 9 || sw != 9 {
+		t.Fatalf("expected weight 9, got dense %d sparse %d", dw, sw)
+	}
+	if len(dm) != len(sm) {
+		t.Fatalf("result length mismatch: %v vs %v", dm, sm)
+	}
+	for i := range dm {
+		if dm[i] != sm[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, dm[i], sm[i])
+		}
+	}
+}
+
+// TestAutoDispatch pins the density rule: the auto path must take the
+// sparse solver on a large sparse instance and the dense solver on a small
+// or dense one, observable through Stats.
+func TestAutoDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a Arena
+	a.MaxWeightBipartite(4, []Edge{{0, 1, 3}, {1, 0, 2}})
+	if a.Stats.DenseSolves != 1 || a.Stats.SparseSolves != 0 {
+		t.Fatalf("small instance should stay dense: %+v", a.Stats)
+	}
+	a.MaxWeightBipartite(256, randInstance(rng, 256, 0.01, 100))
+	if a.Stats.SparseSolves != 1 {
+		t.Fatalf("large sparse instance should dispatch sparse: %+v", a.Stats)
+	}
+	a.MaxWeightBipartite(32, randInstance(rng, 32, 0.95, 100))
+	if a.Stats.DenseSolves != 2 {
+		t.Fatalf("dense instance should dispatch dense: %+v", a.Stats)
+	}
+}
+
+// TestSparseDegradedRows forces long augmenting paths (a tight cost
+// structure where every row fights for the same columns) so rows cross the
+// touched-set degradation threshold, and pins bit-identity there too.
+func TestSparseDegradedRows(t *testing.T) {
+	// Complete-ish instance with identical weights: every insertion chains
+	// through previously matched columns.
+	n := 48
+	var edges []Edge
+	for f := 0; f < n; f++ {
+		for t := 0; t < n/2; t++ {
+			edges = append(edges, Edge{From: f, To: t, Weight: 10})
+		}
+	}
+	var a Arena
+	dm, dw := a.MaxWeightBipartiteDense(n, edges)
+	sm, sw := a.MaxWeightBipartiteSparse(n, edges)
+	if dw != sw || len(dm) != len(sm) {
+		t.Fatalf("degraded-row mismatch: dense %d/%d sparse %d/%d", dw, len(dm), sw, len(sm))
+	}
+	for i := range dm {
+		if dm[i] != sm[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, dm[i], sm[i])
+		}
+	}
+}
