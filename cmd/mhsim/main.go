@@ -18,6 +18,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -216,6 +217,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		saveSched  = fs.String("save-schedule", "", "write the planned schedule to a JSON file")
 		replay     = fs.String("replay", "", "skip planning: replay a schedule JSON file over the load")
 		faultsPath = fs.String("faults", "", "inject a link/node failure trace from a JSON file (see internal/fault)")
+		redundancy = fs.Bool("redundancy", false, "with -faults: run the proactive-vs-reactive showdown (none, reactive, proactive, both) instead of a single degraded run")
+		redOut     = fs.String("redundancy-out", "", "with -redundancy: also write the showdown results as JSON to this file ('-' for stdout)")
+		maxEpochs  = fs.Int("max-epochs", 0, "with -faults: cap the online run at this many epochs (0 = run until drained)")
 		listAlgos  = fs.Bool("list-algos", false, "print the algorithm registry (name, kind, description; tab-separated) and exit")
 		metricsOut = fs.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file at exit")
 		traceOut   = fs.String("trace-out", "", "write the JSONL decision trace to this file")
@@ -263,6 +267,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *faultsPath != "" && *replay == "" && !isCore {
 		return fmt.Errorf("algorithm %q does not support -faults (use one of: %s)",
 			a.Name(), strings.Join(algo.CoreNames(), ", "))
+	}
+	if *redundancy && *faultsPath == "" {
+		return fmt.Errorf("-redundancy needs -faults: the showdown replays a failure trace")
+	}
+	if *redOut != "" && !*redundancy {
+		return fmt.Errorf("-redundancy-out needs -redundancy")
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -320,7 +330,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if err != nil {
 				return err
 			}
-			return runFaulty(stdout, g, runLoad, faults, opt)
+			if *redundancy {
+				return runShowdown(stdout, g, runLoad, faults, opt, params, *maxEpochs, *redOut)
+			}
+			return runFaulty(stdout, g, runLoad, faults, opt, params, *maxEpochs)
 		}
 
 		out, err := a.Run(g, load, params)
@@ -419,30 +432,168 @@ func loadSchedule(path string, g *graph.Digraph, ports int) (*schedule.Schedule,
 	return sch, nil
 }
 
-// runFaulty drives the fault-tolerant online pipeline and prints the
-// per-epoch degradation report.
-func runFaulty(stdout io.Writer, g *graph.Digraph, load *traffic.Load, faults *fault.Trace, opt core.Options) error {
-	var arr []online.Arrival
-	for _, f := range load.Flows {
-		arr = append(arr, online.Arrival{Flow: f, At: 0})
+// arrivalsAt0 turns a load into an arrival stream with everything offered
+// at slot 0 (the mhsim fault pipeline's admission model).
+func arrivalsAt0(load *traffic.Load) []online.Arrival {
+	arr := make([]online.Arrival, len(load.Flows))
+	for i, f := range load.Flows {
+		arr[i] = online.Arrival{Flow: f, At: 0}
 	}
-	res, err := online.RunFaulty(g, arr, faults, online.FaultOptions{
-		Options: online.Options{Core: opt},
-	})
+	return arr
+}
+
+// runFaulty drives the fault-tolerant online pipeline and prints the
+// per-epoch degradation report. When the algorithm spec carries redundancy
+// knobs (crit > 0, or the load itself has provisioned Redundant routes),
+// the load is expanded into proactive copies first and the run layers
+// redundancy under the reactive repair.
+func runFaulty(stdout io.Writer, g *graph.Digraph, load *traffic.Load, faults *fault.Trace, opt core.Options, params algo.Params, maxEpochs int) error {
+	expanded, red := algo.ProvisionRedundant(g, load, params)
+	fopt := online.FaultOptions{Options: online.Options{Core: opt, MaxEpochs: maxEpochs}}
+	var res *online.FaultResult
+	var err error
+	if red.Empty() {
+		res, err = online.RunFaulty(g, arrivalsAt0(load), faults, fopt)
+	} else {
+		k, crit, stretch := algo.RedundancyKnobs(params)
+		fmt.Fprintf(stdout, "redundancy: k=%d crit=%.2f stretch=%.1f; %d flows expanded to %d copy flows (%d -> %d packets)\n",
+			k, crit, stretch, len(load.Flows), len(expanded.Flows),
+			load.TotalPackets(), expanded.TotalPackets())
+		res, err = online.RunRedundantFaulty(g, arrivalsAt0(expanded), faults, online.RedundantFaultOptions{
+			FaultOptions: fopt, Redundancy: red,
+		})
+	}
 	if err != nil {
 		return err
 	}
 	for _, ep := range res.Epochs {
-		fmt.Fprintf(stdout, "epoch %3d: %d links, %d nodes down | offered %d delivered %d backlog %d | rerouted %d stranded %d dropped %d | reference %d\n",
+		fmt.Fprintf(stdout, "epoch %3d: %d links, %d nodes down | offered %d delivered %d backlog %d | rerouted %d stranded %d dropped %d | reference %d",
 			ep.Epoch, ep.FailedLinks, ep.FailedNodes,
 			ep.Offered, ep.Delivered, ep.Backlog,
 			ep.Rerouted, ep.Stranded, ep.Dropped, ep.RefDelivered)
+		if !red.Empty() {
+			fmt.Fprintf(stdout, " | survived %d unique %d", ep.SurvivedRedundant, ep.UniqueDelivered)
+		}
+		fmt.Fprintln(stdout)
 	}
 	fmt.Fprintf(stdout, "degraded: delivered %d/%d (%.2f%%), dropped %d unreachable\n",
 		res.Delivered, res.Total, 100*res.DeliveredFraction(), res.Dropped)
+	if !red.Empty() {
+		fmt.Fprintf(stdout, "redundant: unique delivered %d/%d (%.2f%%), %d packets survived via copies\n",
+			res.UniqueDelivered, res.UniqueTotal, 100*res.UniqueDeliveredFraction(), res.SurvivedRedundant)
+	}
 	if res.Reference != nil {
 		fmt.Fprintf(stdout, "reference: delivered %d/%d failure-free; degradation %.2f%%\n",
 			res.Reference.Delivered, res.Reference.Total, 100*res.Degradation())
+	}
+	return nil
+}
+
+// showdownArm is one protection arm of the -redundancy showdown, as
+// printed and as serialized by -redundancy-out.
+type showdownArm struct {
+	Arm               string  `json:"arm"`
+	Delivered         int     `json:"delivered"`
+	Total             int     `json:"total"`
+	UniqueDelivered   int     `json:"unique_delivered"`
+	UniqueTotal       int     `json:"unique_total"`
+	UniqueFraction    float64 `json:"unique_fraction"`
+	Dropped           int     `json:"dropped"`
+	SurvivedRedundant int     `json:"survived_redundant"`
+	Psi               int64   `json:"psi"`
+	Epochs            int     `json:"epochs"`
+}
+
+// showdownReport is the -redundancy-out JSON document.
+type showdownReport struct {
+	Redundancy  int           `json:"redundancy"`
+	CritFrac    float64       `json:"crit_frac"`
+	Stretch     float64       `json:"stretch"`
+	Arms        []showdownArm `json:"arms"`
+	PsiOverhead float64       `json:"psi_overhead"` // psi(both) / psi(reactive)
+}
+
+// runShowdown replays the same load and failure trace under the four
+// protection arms — no protection, reactive repair only, proactive
+// k-disjoint copies only, and both — and reports the deduplicated delivery
+// of each plus the ψ overhead proactive protection costs. With no explicit
+// crit knob in the algorithm spec, half the flows are protected.
+func runShowdown(stdout io.Writer, g *graph.Digraph, load *traffic.Load, faults *fault.Trace, opt core.Options, params algo.Params, maxEpochs int, outPath string) error {
+	if params.CritFrac <= 0 {
+		params.CritFrac = 0.5
+	}
+	k, crit, stretch := algo.RedundancyKnobs(params)
+	expanded, red := algo.ProvisionRedundant(g, load, params)
+	fopt := online.FaultOptions{
+		Options:       online.Options{Core: opt, MaxEpochs: maxEpochs},
+		SkipReference: true,
+	}
+	arm := func(name string, l *traffic.Load, r *traffic.Redundancy, reactive bool) (showdownArm, error) {
+		res, err := online.RunRedundantFaulty(g, arrivalsAt0(l), faults, online.RedundantFaultOptions{
+			FaultOptions: fopt, Redundancy: r, NoReactive: !reactive,
+		})
+		if err != nil {
+			return showdownArm{}, fmt.Errorf("%s arm: %w", name, err)
+		}
+		return showdownArm{
+			Arm:               name,
+			Delivered:         res.Delivered,
+			Total:             res.Total,
+			UniqueDelivered:   res.UniqueDelivered,
+			UniqueTotal:       res.UniqueTotal,
+			UniqueFraction:    res.UniqueDeliveredFraction(),
+			Dropped:           res.Dropped,
+			SurvivedRedundant: res.SurvivedRedundant,
+			Psi:               res.Psi,
+			Epochs:            len(res.Epochs),
+		}, nil
+	}
+	rep := showdownReport{Redundancy: k, CritFrac: crit, Stretch: stretch}
+	for _, spec := range []struct {
+		name     string
+		load     *traffic.Load
+		red      *traffic.Redundancy
+		reactive bool
+	}{
+		{"none", load, nil, false},
+		{"reactive", load, nil, true},
+		{"proactive", expanded, red, false},
+		{"both", expanded, red, true},
+	} {
+		a, err := arm(spec.name, spec.load, spec.red, spec.reactive)
+		if err != nil {
+			return err
+		}
+		rep.Arms = append(rep.Arms, a)
+	}
+	rep.PsiOverhead = 1
+	if reactive, both := rep.Arms[1], rep.Arms[3]; reactive.Psi > 0 {
+		rep.PsiOverhead = float64(both.Psi) / float64(reactive.Psi)
+	}
+	fmt.Fprintf(stdout, "showdown: k=%d crit=%.2f stretch=%.1f; %d flows, %d with copies (%d -> %d packets)\n",
+		k, crit, stretch, len(load.Flows), len(red.Members()),
+		load.TotalPackets(), expanded.TotalPackets())
+	fmt.Fprintf(stdout, "%-10s %10s %14s %8s %9s %12s\n",
+		"arm", "delivered", "unique", "dropped", "survived", "psi")
+	for _, a := range rep.Arms {
+		fmt.Fprintf(stdout, "%-10s %4d/%5d %6d/%5d %s %8d %9d %12d\n",
+			a.Arm, a.Delivered, a.Total, a.UniqueDelivered, a.UniqueTotal,
+			fmt.Sprintf("(%6.2f%%)", 100*a.UniqueFraction), a.Dropped, a.SurvivedRedundant, a.Psi)
+	}
+	fmt.Fprintf(stdout, "psi overhead of proactive copies (both / reactive): %.2fx\n", rep.PsiOverhead)
+	if outPath != "" {
+		buf, err := json.MarshalIndent(&rep, "", " ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if outPath == "-" {
+			_, err = stdout.Write(buf)
+			return err
+		}
+		if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+			return err
+		}
 	}
 	return nil
 }

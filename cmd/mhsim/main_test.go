@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -255,5 +256,140 @@ func TestLoadFaultsValidatesAgainstFabric(t *testing.T) {
 	}
 	if _, err := loadFaults(path, g); err == nil {
 		t.Fatal("malformed trace accepted")
+	}
+}
+
+// TestMakeLoadRejectsOffFabricRoute pins the load-time route-vs-fabric
+// validation: a JSON load whose route uses a link absent from the selected
+// (sparse) fabric must fail at load time with an error naming the flow and
+// the offending hop — not deep inside planning.
+func TestMakeLoadRejectsOffFabricRoute(t *testing.T) {
+	// ChordRing(6, 2) has edges i->i+1 and i->i+2 only: 0->3 is not a link,
+	// though both endpoints are valid nodes.
+	g := graph.ChordRing(6, 2)
+	bad := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 7, Size: 3, Src: 0, Dst: 3, Routes: []traffic.Route{{0, 3}}},
+	}}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := bad.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	_, err := makeLoad(g, path, "", 6, 100, 1, 0, nil)
+	if err == nil {
+		t.Fatal("off-fabric route accepted")
+	}
+	for _, want := range []string{"flow 7", "not a fabric link", "does not fit the selected fabric"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestRedundancyFlagGating(t *testing.T) {
+	err := run([]string{"-n", "4", "-redundancy"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "needs -faults") {
+		t.Fatalf("-redundancy without -faults: %v", err)
+	}
+	err = run([]string{"-n", "4", "-redundancy-out", "x.json"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "needs -redundancy") {
+		t.Fatalf("-redundancy-out without -redundancy: %v", err)
+	}
+}
+
+// TestRedundancyShowdownEndToEnd drives the full -redundancy pipeline:
+// four arms over a committed failure event, a human-readable table on
+// stdout, and a machine-readable JSON artifact.
+func TestRedundancyShowdownEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	tr := &fault.Trace{Events: []fault.Event{
+		{At: 0, Kind: fault.LinkDown, From: 0, To: 3},
+		{At: 120, Kind: fault.LinkUp, From: 0, To: 3},
+	}}
+	if err := tr.SaveFile(tracePath); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "showdown.json")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-n", "6", "-window", "60", "-delta", "5", "-max-epochs", "4",
+		"-algo", "octopus-redundant:red=2,crit=1",
+		"-faults", tracePath, "-redundancy", "-redundancy-out", outPath,
+	}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"showdown: k=2 crit=1.00", "none", "reactive", "proactive", "both", "psi overhead"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep showdownReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("showdown JSON: %v", err)
+	}
+	if len(rep.Arms) != 4 {
+		t.Fatalf("%d arms, want 4", len(rep.Arms))
+	}
+	names := []string{"none", "reactive", "proactive", "both"}
+	for i, a := range rep.Arms {
+		if a.Arm != names[i] {
+			t.Errorf("arm %d = %q, want %q", i, a.Arm, names[i])
+		}
+		if a.UniqueTotal != rep.Arms[0].UniqueTotal {
+			t.Errorf("arm %s unique total %d diverges from %d", a.Arm, a.UniqueTotal, rep.Arms[0].UniqueTotal)
+		}
+		if a.UniqueFraction < 0 || a.UniqueFraction > 1 {
+			t.Errorf("arm %s unique fraction %f out of range", a.Arm, a.UniqueFraction)
+		}
+	}
+	if rep.PsiOverhead < 1 {
+		t.Errorf("psi overhead %f below 1", rep.PsiOverhead)
+	}
+	// Layered protection never loses packets relative to nothing.
+	if rep.Arms[3].UniqueDelivered < rep.Arms[0].UniqueDelivered {
+		t.Errorf("both delivered %d below none %d", rep.Arms[3].UniqueDelivered, rep.Arms[0].UniqueDelivered)
+	}
+}
+
+// TestFaultsWithRedundantSpec: the plain -faults path provisions proactive
+// copies when the algorithm spec asks for them, and reports the
+// deduplicated delivery alongside the raw epochs.
+func TestFaultsWithRedundantSpec(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	tr := &fault.Trace{Events: []fault.Event{{At: 0, Kind: fault.LinkDown, From: 0, To: 3}}}
+	if err := tr.SaveFile(tracePath); err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-n", "6", "-window", "60", "-delta", "5", "-max-epochs", "4",
+		"-algo", "octopus-redundant:red=2,crit=0.5",
+		"-faults", tracePath,
+	}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"redundancy: k=2 crit=0.50", "unique delivered"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+	// The same spec with crit unset stays on the classic RunFaulty path.
+	stdout.Reset()
+	err = run([]string{
+		"-n", "6", "-window", "60", "-delta", "5", "-max-epochs", "4",
+		"-algo", "octopus", "-faults", tracePath,
+	}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stdout.String(), "unique delivered") {
+		t.Errorf("plain octopus -faults printed redundancy accounting:\n%s", stdout.String())
 	}
 }

@@ -146,7 +146,7 @@ func TestRegistryListing(t *testing.T) {
 	for _, n := range CoreNames() {
 		coreSet[n] = true
 	}
-	for _, n := range []string{"octopus", "octopus-g", "octopus-b", "octopus-e", "chained", "octopus-plus", "octopus-random"} {
+	for _, n := range []string{"octopus", "octopus-g", "octopus-b", "octopus-e", "chained", "octopus-plus", "octopus-random", "octopus-redundant"} {
 		if !coreSet[n] {
 			t.Errorf("%s missing from CoreNames()", n)
 		}

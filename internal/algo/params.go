@@ -56,6 +56,17 @@ type Params struct {
 	// (the ext-backtrack ablation).
 	DisableBacktrack bool
 
+	// Redundancy, CritFrac and Stretch configure octopus-redundant's
+	// proactive multipath provisioning: the top CritFrac fraction of flows
+	// (largest first) is provisioned with up to Redundancy pairwise
+	// edge-disjoint route copies, alternates capped at Stretch × the
+	// primary hop count. Redundancy 0 selects the default 2, Stretch 0 the
+	// default 2.0; CritFrac 0 (the default) disables provisioning, making
+	// octopus-redundant bit-identical to plain octopus.
+	Redundancy int
+	CritFrac   float64
+	Stretch    float64
+
 	// KeepTrace makes core planners record every planned movement so the
 	// plan can be audited by core.Result.VerifyPlan (used by the
 	// differential harness; costs memory).
@@ -135,8 +146,9 @@ func ParseSpec(spec string, base Params) (Algorithm, Params, error) {
 
 // specKeys names every key ParseSpec accepts, for error messages.
 var specKeys = []string{
-	"backtrack", "delta", "eps64", "hold", "hys64", "keeptrace",
-	"matcher", "multihop", "par", "ports", "rate", "seed", "slots", "window",
+	"backtrack", "crit", "delta", "eps64", "hold", "hys64", "keeptrace",
+	"matcher", "multihop", "par", "ports", "rate", "red", "seed", "slots",
+	"stretch", "window",
 }
 
 // set applies one key=value option to the params.
@@ -153,6 +165,14 @@ func (p *Params) set(key, val string) error {
 		v, err := strconv.ParseBool(val)
 		if err != nil {
 			return fmt.Errorf("option %s=%q: want a boolean", key, val)
+		}
+		*dst = v
+		return nil
+	}
+	parseFloat := func(dst *float64) error {
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("option %s=%q: want a number", key, val)
 		}
 		*dst = v
 		return nil
@@ -174,6 +194,12 @@ func (p *Params) set(key, val string) error {
 		return parseInt(&p.Hysteresis64)
 	case "slots":
 		return parseInt(&p.SlotsPerMatching)
+	case "red":
+		return parseInt(&p.Redundancy)
+	case "crit":
+		return parseFloat(&p.CritFrac)
+	case "stretch":
+		return parseFloat(&p.Stretch)
 	case "multihop":
 		return parseBool(&p.MultiHop)
 	case "keeptrace":

@@ -1,0 +1,142 @@
+package algo
+
+import (
+	"octopus/internal/core"
+	"octopus/internal/graph"
+	"octopus/internal/simulate"
+	"octopus/internal/traffic"
+	"octopus/internal/verify"
+)
+
+// Defaults for the octopus-redundant proactive-multipath knobs: provision
+// up to 2 disjoint route copies per critical flow, alternates at most 2×
+// the primary hop count. CritFrac has no default — redundancy is explicit
+// opt-in (crit=0 makes the mode bit-identical to plain octopus).
+const (
+	DefaultRedundancy = 2
+	DefaultStretch    = 2.0
+)
+
+// RedundancyKnobs resolves the Params redundancy fields to effective
+// values.
+func RedundancyKnobs(p Params) (k int, crit, stretch float64) {
+	k = p.Redundancy
+	if k <= 0 {
+		k = DefaultRedundancy
+	}
+	crit = p.CritFrac
+	stretch = p.Stretch
+	if stretch <= 0 {
+		stretch = DefaultStretch
+	}
+	return k, crit, stretch
+}
+
+// ProvisionRedundant applies the full proactive-redundancy pipeline to a
+// load under p's knobs: mark the top CritFrac fraction of flows critical
+// (largest first), provision each with up to Redundancy pairwise
+// edge-disjoint route copies within the Stretch cap, and expand every
+// provisioned flow into per-copy single-route flows plus the Redundancy
+// group map the simulator and the online fault loop deduplicate with.
+// CritFrac <= 0 skips provisioning, but loads whose flows already carry
+// Redundant routes (e.g. loaded from JSON) still expand. The input load is
+// never modified.
+func ProvisionRedundant(g *graph.Digraph, load *traffic.Load, p Params) (*traffic.Load, *traffic.Redundancy) {
+	k, crit, stretch := RedundancyKnobs(p)
+	work := load
+	if crit > 0 {
+		work = load.Clone()
+		traffic.MarkCritical(work, crit)
+		work = traffic.Redundant(g, work, k, stretch)
+	}
+	return traffic.ExpandRedundant(work)
+}
+
+// redundantAlgo is octopus-redundant: plain Octopus planning over the
+// redundancy-expanded load, measured with per-group deduplicated delivery.
+// The embedded coreAlgo supplies the identity CoreOptions mapping — the
+// fault pipeline provisions the load itself (it has the fabric in hand)
+// and then drives any core scheduler over the expanded flows.
+type redundantAlgo struct {
+	coreAlgo
+}
+
+func octopusRedundantAlgo() Algorithm {
+	return &redundantAlgo{coreAlgo{
+		name: "octopus-redundant",
+		describe: "Octopus over proactively replicated critical flows: crit-fraction largest flows get " +
+			"up to red edge-disjoint route copies (stretch-capped), delivery deduplicated per copy group",
+		prep: passthrough(baseOptions),
+	}}
+}
+
+// Run provisions the redundant copies, plans with the plain Octopus core,
+// claims the raw (per-copy) plan exactly, and reports the deduplicated
+// metrics: Delivered counts each group once at its first copy's arrival,
+// Total is the original offered load, ψ includes the duplicate overhead
+// (broken out in the simulate.Result the differential harness replays).
+// With crit=0 the expansion is the identity and the run is bit-identical
+// to plain octopus.
+func (a *redundantAlgo) Run(g *graph.Digraph, load *traffic.Load, p Params) (*Outcome, error) {
+	expanded, red := ProvisionRedundant(g, load, p)
+	opt := baseOptions(p)
+	s, err := core.New(g, expanded, opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Algo:     a.name,
+		Fabric:   g,
+		Load:     expanded,
+		Schedule: res.Schedule,
+		Plan: &PlanInfo{
+			Iterations: res.Iterations,
+			Delivered:  res.Delivered,
+			Hops:       res.Hops,
+			Psi:        res.Psi,
+		},
+		Reconfigs: len(res.Schedule.Configs),
+		VerifyOpt: verify.Options{
+			Window:    opt.Window,
+			Ports:     opt.Ports,
+			Epsilon64: opt.Epsilon64,
+			// The claim is the raw per-copy plan: the independent replay
+			// reproduces it packet for packet; deduplication happens on
+			// top of it, never inside it.
+			Claim: &verify.Claim{Delivered: res.Delivered, Hops: res.Hops, Psi: res.Psi},
+		},
+	}
+	if opt.MultiHop {
+		sch, w := res.Schedule, opt.Window
+		out.Extra = func() error {
+			_, err := verify.Schedule(g, expanded, sch, verify.Options{
+				Window: w, Ports: opt.Ports, MultiHop: true,
+			})
+			return err
+		}
+	}
+	sim, err := simulate.Run(g, expanded, res.Schedule, simulate.Options{
+		Window:     opt.Window,
+		MultiHop:   opt.MultiHop,
+		Ports:      opt.Ports,
+		Epsilon64:  opt.Epsilon64,
+		Redundancy: red,
+		Obs:        opt.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Delivered = sim.UniqueDelivered
+	out.Total = sim.UniqueTotal
+	out.Hops = sim.Hops
+	out.Psi = sim.Psi
+	out.ActiveLinkSlots = sim.ActiveLinkSlots
+	out.ConfigsReplayed = sim.Configs
+	out.SlotsUsed = sim.SlotsUsed
+	out.Measured = true
+	return out, nil
+}

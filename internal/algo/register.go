@@ -13,6 +13,7 @@ func init() {
 	Register(chainedAlgo())
 	Register(octopusPlusAlgo())
 	Register(octopusRandomAlgo())
+	Register(octopusRedundantAlgo())
 	Register(eclipseAlgo{})
 	Register(eclipseBasedAlgo())
 	Register(eclipsePPAlgo{})

@@ -18,14 +18,15 @@ import (
 // extensions the paper describes but does not plot.
 func Extensions() map[string]Runner {
 	return map[string]Runner{
-		"ext-solstice":  ExtSolstice,
-		"ext-ports":     ExtPorts,
-		"ext-makespan":  ExtMakespan,
-		"ext-backtrack": ExtBacktrack,
-		"ext-eclipsepp": ExtEclipsePP,
-		"ext-buffers":   ExtBuffers,
-		"ext-adaptive":  ExtAdaptive,
-		"ext-epsilon":   ExtEpsilon,
+		"ext-solstice":   ExtSolstice,
+		"ext-ports":      ExtPorts,
+		"ext-makespan":   ExtMakespan,
+		"ext-backtrack":  ExtBacktrack,
+		"ext-eclipsepp":  ExtEclipsePP,
+		"ext-buffers":    ExtBuffers,
+		"ext-adaptive":   ExtAdaptive,
+		"ext-epsilon":    ExtEpsilon,
+		"ext-redundancy": ExtRedundancy,
 	}
 }
 

@@ -4,7 +4,7 @@ import "testing"
 
 func TestExtensionIDs(t *testing.T) {
 	ids := ExtensionIDs()
-	want := []string{"ext-adaptive", "ext-backtrack", "ext-buffers", "ext-eclipsepp", "ext-epsilon", "ext-makespan", "ext-ports", "ext-solstice"}
+	want := []string{"ext-adaptive", "ext-backtrack", "ext-buffers", "ext-eclipsepp", "ext-epsilon", "ext-makespan", "ext-ports", "ext-redundancy", "ext-solstice"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}

@@ -1,0 +1,175 @@
+package experiment
+
+import (
+	"bytes"
+	"embed"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"octopus/internal/core"
+	"octopus/internal/fault"
+	"octopus/internal/graph"
+	"octopus/internal/online"
+	"octopus/internal/traffic"
+)
+
+// The proactive-vs-reactive showdown runs at a fixed geometry, independent
+// of Scale (which still controls instances, workers, and seed): the
+// committed failure traces below are tied to this fabric and epoch length,
+// so scaling the network would silently decouple the failures from the
+// topology they were generated for.
+const (
+	redNodes      = 24  // ChordRing(24, 2, 5): out-degree 3, up to 3 disjoint paths
+	redEpochW     = 120 // epoch window in slots; trace bursts straddle its boundaries
+	redDelta      = 8   // reconfiguration delay
+	redLoadWindow = 60  // synthetic load sized to half the epoch: ~2x headroom
+	redCritFrac   = 0.5 // fraction of flows marked critical (largest first)
+	redStretch    = 2.0 // disjoint-alternate stretch cap
+	redHorizon    = 4   // "on time" = delivered within the first 4 epochs
+	redMaxEpochs  = 8   // hard cap so no arm runs unbounded
+)
+
+//go:generate go run testdata/redundancy/gen.go
+
+//go:embed testdata/redundancy/trace*.json
+var redTraceFS embed.FS
+
+// redTraces parses the committed correlated-failure traces, sorted by file
+// name so the per-instance choice is deterministic.
+func redTraces() ([]*fault.Trace, error) {
+	entries, err := redTraceFS.ReadDir("testdata/redundancy")
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	var traces []*fault.Trace
+	for _, name := range names {
+		raw, err := redTraceFS.ReadFile("testdata/redundancy/" + name)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := fault.ReadJSON(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: trace %s: %w", name, err)
+		}
+		traces = append(traces, tr)
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("experiment: no committed redundancy traces")
+	}
+	return traces, nil
+}
+
+// redArm runs one arm of the showdown: the arrivals (all at slot 0) under
+// one committed failure trace, with or without proactive copies (red) and
+// with or without reactive epoch-boundary repair.
+func redArm(g *graph.Digraph, load *traffic.Load, tr *fault.Trace, mat core.Matcher, red *traffic.Redundancy, reactive bool) (*online.FaultResult, error) {
+	arrivals := make([]online.Arrival, len(load.Flows))
+	for i, f := range load.Flows {
+		arrivals[i] = online.Arrival{Flow: f, At: 0}
+	}
+	opt := online.RedundantFaultOptions{
+		FaultOptions: online.FaultOptions{
+			Options: online.Options{
+				Core:      core.Options{Window: redEpochW, Delta: redDelta, Matcher: mat},
+				MaxEpochs: redMaxEpochs,
+			},
+			SkipReference: true,
+		},
+		Redundancy: red,
+		NoReactive: !reactive,
+	}
+	return online.RunRedundantFaulty(g, arrivals, tr, opt)
+}
+
+// onTimeFraction is the deduplicated fraction delivered within the first
+// redHorizon epochs.
+func onTimeFraction(res *online.FaultResult) float64 {
+	if res.UniqueTotal == 0 {
+		return 0
+	}
+	onTime := 0
+	for _, ep := range res.Epochs {
+		if ep.Epoch < redHorizon {
+			onTime += ep.UniqueDelivered
+		}
+	}
+	return float64(onTime) / float64(res.UniqueTotal)
+}
+
+// ExtRedundancy is the proactive-vs-reactive fault showdown: the same
+// synthetic load on the same degraded fabric under four protection arms —
+// no protection, reactive repair only, proactive k-disjoint copies only,
+// and both — replayed over committed correlated-failure traces. Rows sweep
+// the copy count k; the last series reports the ψ cost of proactive
+// protection as the overhead of "both" relative to reactive-only. At k=1
+// proactive provisioning is the identity, so the first row doubles as a
+// live check that the arms collapse pairwise.
+func ExtRedundancy(sc Scale) (*Table, error) {
+	traces, err := redTraces()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "ext-redundancy", Title: "Proactive multipath redundancy vs reactive repair under correlated failures",
+		XLabel: "k", YLabel: "% unique packets delivered (PsiOverhead: ratio)",
+		Series: []string{"None", "ReactiveOnly", "ProactiveOnly", "Both", "BothOnTime", "PsiOverhead"},
+	}
+	for _, k := range []int{1, 2, 3} {
+		k := k
+		vals, err := averagePoint(sc, int64(k), 6, func(rng *rand.Rand) ([]float64, error) {
+			tr := traces[rng.Intn(len(traces))]
+			g := graph.ChordRing(redNodes, 2, 5)
+			load, err := traffic.Synthetic(g, traffic.DefaultSyntheticParams(redNodes, redLoadWindow), rng)
+			if err != nil {
+				return nil, err
+			}
+			// Provision the proactive arms: largest-half flows get up to k
+			// pairwise edge-disjoint route copies, expanded into per-copy
+			// flows tied together by the redundancy group map.
+			prov := load.Clone()
+			traffic.MarkCritical(prov, redCritFrac)
+			prov = traffic.Redundant(g, prov, k, redStretch)
+			expanded, red := traffic.ExpandRedundant(prov)
+
+			none, err := redArm(g, load, tr, sc.Matcher, nil, false)
+			if err != nil {
+				return nil, err
+			}
+			reactive, err := redArm(g, load, tr, sc.Matcher, nil, true)
+			if err != nil {
+				return nil, err
+			}
+			proactive, err := redArm(g, expanded, tr, sc.Matcher, red, false)
+			if err != nil {
+				return nil, err
+			}
+			both, err := redArm(g, expanded, tr, sc.Matcher, red, true)
+			if err != nil {
+				return nil, err
+			}
+			overhead := 1.0
+			if reactive.Psi > 0 {
+				overhead = float64(both.Psi) / float64(reactive.Psi)
+			}
+			return []float64{
+				none.UniqueDeliveredFraction() * 100,
+				reactive.UniqueDeliveredFraction() * 100,
+				proactive.UniqueDeliveredFraction() * 100,
+				both.UniqueDeliveredFraction() * 100,
+				onTimeFraction(both) * 100,
+				overhead,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Row{X: float64(k), Values: vals})
+	}
+	return t, nil
+}

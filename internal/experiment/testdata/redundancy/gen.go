@@ -1,0 +1,48 @@
+//go:build ignore
+
+// Regenerates the committed correlated-failure traces the ext-redundancy
+// showdown replays (run from this directory: go run gen.go). The traces are
+// tied to the experiment's fixed geometry — graph.ChordRing(24, 2, 5) with
+// 120-slot epochs — and each burst window [100+240i, 240+240i) straddles
+// exactly one epoch boundary (120, 360, 600), so the failure is visible in
+// exactly one boundary snapshot and restored before the next.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"octopus/internal/fault"
+	"octopus/internal/graph"
+)
+
+func main() {
+	g := graph.ChordRing(24, 2, 5)
+	victims := [][]int{
+		{3, 11, 19},
+		{7, 14, 22},
+		{1, 9, 16},
+	}
+	for i, nodes := range victims {
+		tr := fault.CorrelatedTrace(g, nodes, 100, 240, 140)
+		if err := tr.Validate(g); err != nil {
+			fmt.Fprintf(os.Stderr, "trace %d: %v\n", i+1, err)
+			os.Exit(1)
+		}
+		name := fmt.Sprintf("trace%d.json", i+1)
+		f, err := os.Create(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d events)\n", name, len(tr.Events))
+	}
+}

@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// pathFeasible asserts p is a simple fabric path from src to dst.
+func pathFeasible(t *testing.T, g *Digraph, p []int, src, dst int) {
+	t.Helper()
+	if len(p) < 2 || p[0] != src || p[len(p)-1] != dst {
+		t.Fatalf("path %v does not connect %d->%d", p, src, dst)
+	}
+	if !g.IsRoute(p) {
+		t.Fatalf("path %v is not a simple fabric path", p)
+	}
+}
+
+// assertDisjoint asserts the paths are pairwise edge-disjoint.
+func assertDisjoint(t *testing.T, paths [][]int) {
+	t.Helper()
+	seen := map[Edge]int{}
+	for i, p := range paths {
+		for j := 0; j+1 < len(p); j++ {
+			e := Edge{From: p[j], To: p[j+1]}
+			if prev, dup := seen[e]; dup {
+				t.Fatalf("edge %v shared by paths %d and %d: %v", e, prev, i, paths)
+			}
+			seen[e] = i
+		}
+	}
+}
+
+func TestDisjointRoutesComplete(t *testing.T) {
+	g := Complete(5)
+	paths := DisjointRoutes(g, 0, 4, 4, 0)
+	if len(paths) != 4 {
+		t.Fatalf("got %d paths on K5, want 4: %v", len(paths), paths)
+	}
+	assertDisjoint(t, paths)
+	for _, p := range paths {
+		pathFeasible(t, g, p, 0, 4)
+	}
+	// Shortest-first ordering: the direct link, then the three 2-hop detours.
+	if !reflect.DeepEqual(paths[0], []int{0, 4}) {
+		t.Fatalf("first path %v, want the direct link", paths[0])
+	}
+	for _, p := range paths[1:] {
+		if len(p) != 3 {
+			t.Fatalf("detour %v should have 2 hops", p)
+		}
+	}
+}
+
+func TestDisjointRoutesRing(t *testing.T) {
+	// A directed ring has exactly one src->dst path however large k is.
+	g := ChordRing(8)
+	paths := DisjointRoutes(g, 0, 3, 3, 0)
+	want := [][]int{{0, 1, 2, 3}}
+	if !reflect.DeepEqual(paths, want) {
+		t.Fatalf("got %v, want %v", paths, want)
+	}
+}
+
+// TestDisjointRoutesTrap is the classic Bhandari counterexample to greedy
+// path removal: the (unique) shortest path 0→1→2→5 shares its first edge
+// with one disjoint path and its last edge with the other, so finding both
+// requires cancelling the middle edge 1→2 on the second augmentation.
+func TestDisjointRoutesTrap(t *testing.T) {
+	g := New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 5}, {1, 4}, {4, 5}, {0, 3}, {3, 2}} {
+		g.AddEdge(e[0], e[1])
+	}
+	paths := DisjointRoutes(g, 0, 5, 2, 0)
+	want := [][]int{{0, 1, 4, 5}, {0, 3, 2, 5}}
+	if !reflect.DeepEqual(paths, want) {
+		t.Fatalf("got %v, want %v (cancellation failed?)", paths, want)
+	}
+}
+
+func TestDisjointRoutesUnreachableAndDegenerate(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	if got := DisjointRoutes(g, 0, 3, 2, 0); got != nil {
+		t.Fatalf("unreachable dst returned %v", got)
+	}
+	if got := DisjointRoutes(g, 0, 0, 2, 0); got != nil {
+		t.Fatalf("src==dst returned %v", got)
+	}
+	if got := DisjointRoutes(g, 0, 1, 0, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if got := DisjointRoutes(g, 0, 1, 3, 0); len(got) != 1 {
+		t.Fatalf("single edge fabric returned %v", got)
+	}
+}
+
+func TestDisjointRoutesMaxHops(t *testing.T) {
+	// K5 offers one 1-hop and three 2-hop paths; a 1-hop cap keeps only the
+	// direct link.
+	g := Complete(5)
+	paths := DisjointRoutes(g, 0, 4, 4, 1)
+	if !reflect.DeepEqual(paths, [][]int{{0, 4}}) {
+		t.Fatalf("maxHops=1 returned %v", paths)
+	}
+	if paths = DisjointRoutes(g, 0, 4, 4, 2); len(paths) != 4 {
+		t.Fatalf("maxHops=2 returned %d paths, want 4", len(paths))
+	}
+}
+
+func TestDisjointRoutesDeterministicOnRandomFabrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(12)
+		g := RandomPartial(n, 2+rng.Intn(3), rng)
+		src := rng.Intn(n)
+		dst := rng.Intn(n)
+		if src == dst {
+			continue
+		}
+		k := 1 + rng.Intn(4)
+		p1 := DisjointRoutes(g, src, dst, k, 0)
+		p2 := DisjointRoutes(g, src, dst, k, 0)
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("nondeterministic: %v vs %v", p1, p2)
+		}
+		assertDisjoint(t, p1)
+		for _, p := range p1 {
+			pathFeasible(t, g, p, src, dst)
+		}
+		if len(p1) > k {
+			t.Fatalf("returned %d paths, asked for %d", len(p1), k)
+		}
+		// RandomPartial is strongly connected, so at least one path exists.
+		if len(p1) == 0 {
+			t.Fatalf("no path found on a strongly connected fabric (%d->%d)", src, dst)
+		}
+	}
+}
+
+// TestDisjointRoutesMoreRoutesNeverShrink checks monotonicity of the count:
+// asking for more paths never yields fewer.
+func TestDisjointRoutesMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(8)
+		g := RandomPartial(n, 3, rng)
+		src, dst := 0, n-1
+		prev := 0
+		for k := 1; k <= 4; k++ {
+			got := len(DisjointRoutes(g, src, dst, k, 0))
+			if got < prev {
+				t.Fatalf("k=%d yielded %d paths, fewer than k=%d's %d", k, got, k-1, prev)
+			}
+			prev = got
+		}
+	}
+}

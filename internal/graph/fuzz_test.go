@@ -1,0 +1,89 @@
+package graph
+
+import "testing"
+
+// decodeDisjointInstance turns raw fuzz bytes into a fabric plus a disjoint
+// -routes query: byte 0 sizes the graph, byte 1..4 pick src/dst/k/maxHops,
+// and each following 2-byte chunk is one directed edge.
+func decodeDisjointInstance(data []byte) (*Digraph, int, int, int, int) {
+	if len(data) < 5 {
+		data = append(append([]byte(nil), data...), make([]byte, 5-len(data))...)
+	}
+	n := int(data[0])%24 + 2
+	src := int(data[1]) % n
+	dst := int(data[2]) % n
+	k := int(data[3])%5 + 1
+	maxHops := int(data[4]) % 8 // 0 = unbounded
+	g := New(n)
+	data = data[5:]
+	for len(data) >= 2 {
+		from := int(data[0]) % n
+		to := int(data[1]) % n
+		if from != to {
+			g.AddEdge(from, to)
+		}
+		data = data[2:]
+		if g.M() == 512 {
+			break
+		}
+	}
+	return g, src, dst, k, maxHops
+}
+
+// FuzzDisjointRoutes asserts the DisjointRoutes guarantees on arbitrary
+// fabrics: every returned route is a simple fabric path from src to dst,
+// routes are pairwise edge-disjoint, each respects the maxHops bound, at
+// most k are returned, and the extraction is deterministic.
+func FuzzDisjointRoutes(f *testing.F) {
+	// K5-ish fabric, generous k.
+	f.Add([]byte{3, 0, 4, 4, 0, 0, 1, 0, 2, 0, 3, 0, 4, 1, 4, 2, 4, 3, 4, 1, 2, 2, 3})
+	// The Bhandari trap graph (cancellation required).
+	f.Add([]byte{4, 0, 5, 2, 0, 0, 1, 1, 2, 2, 5, 1, 4, 4, 5, 0, 3, 3, 2})
+	// Tight maxHops.
+	f.Add([]byte{6, 0, 7, 3, 2, 0, 1, 1, 7, 0, 7, 0, 2, 2, 3, 3, 7})
+	// Empty graph, degenerate query.
+	f.Add([]byte{0, 0, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, src, dst, k, maxHops := decodeDisjointInstance(data)
+		paths := DisjointRoutes(g, src, dst, k, maxHops)
+		if src == dst && paths != nil {
+			t.Fatalf("src==dst yielded %v", paths)
+		}
+		if len(paths) > k {
+			t.Fatalf("asked for %d paths, got %d", k, len(paths))
+		}
+		seen := map[Edge]bool{}
+		for _, p := range paths {
+			if len(p) < 2 || p[0] != src || p[len(p)-1] != dst {
+				t.Fatalf("path %v does not connect %d->%d", p, src, dst)
+			}
+			if !g.IsRoute(p) {
+				t.Fatalf("path %v is not a simple fabric path", p)
+			}
+			if maxHops > 0 && len(p)-1 > maxHops {
+				t.Fatalf("path %v exceeds maxHops=%d", p, maxHops)
+			}
+			for i := 0; i+1 < len(p); i++ {
+				e := Edge{From: p[i], To: p[i+1]}
+				if seen[e] {
+					t.Fatalf("edge %v reused across paths %v", e, paths)
+				}
+				seen[e] = true
+			}
+		}
+		again := DisjointRoutes(g, src, dst, k, maxHops)
+		if len(again) != len(paths) {
+			t.Fatalf("nondeterministic path count: %d vs %d", len(paths), len(again))
+		}
+		for i := range paths {
+			if len(again[i]) != len(paths[i]) {
+				t.Fatalf("nondeterministic path %d: %v vs %v", i, paths[i], again[i])
+			}
+			for j := range paths[i] {
+				if again[i][j] != paths[i][j] {
+					t.Fatalf("nondeterministic path %d: %v vs %v", i, paths[i], again[i])
+				}
+			}
+		}
+	})
+}

@@ -43,6 +43,19 @@ type FaultEpochStat struct {
 	// on the degraded fabric).
 	Dropped int
 
+	// SurvivedRedundant counts packets of copy flows whose every route died
+	// at this boundary but whose redundancy group kept another copy with a
+	// live route: the dead copy is discarded without reroute or drop — the
+	// surviving copy already carries the group's data (always 0 without
+	// redundancy; see RunRedundantFaulty).
+	SurvivedRedundant int
+
+	// UniqueDelivered is the epoch's redundancy-deduplicated delivery: the
+	// increase of the run's unique delivered count (each copy group counts
+	// once, by its best copy) during this epoch. Without redundancy it
+	// mirrors Delivered.
+	UniqueDelivered int
+
 	// RefDelivered is the failure-free reference run's delivery in this
 	// epoch (-1 when the reference was skipped).
 	RefDelivered int
@@ -52,12 +65,27 @@ type FaultEpochStat struct {
 	Fabric *graph.Digraph
 }
 
-// FaultResult reports a fault-tolerant online run.
+// FaultResult reports a fault-tolerant online run. Packets are conserved:
+// Total = Delivered + Dropped + SurvivedRedundant + whatever is still
+// backlogged when the run ends.
 type FaultResult struct {
 	Epochs    []FaultEpochStat
 	Delivered int
 	Dropped   int // packets abandoned as unreachable across the whole run
 	Total     int
+	Psi       int64 // Σ per-epoch plan ψ, duplicates included, in traffic.WeightScale units
+
+	// UniqueDelivered / UniqueTotal are the redundancy-deduplicated run
+	// metrics: each copy group counts once (by its best copy) toward
+	// UniqueDelivered, and duplicate copies do not add to UniqueTotal.
+	// Without redundancy they mirror Delivered / Total.
+	UniqueDelivered int
+	UniqueTotal     int
+
+	// SurvivedRedundant totals the packets of dead copies discarded because
+	// a sibling copy with a live route carried their group through the
+	// failure (see FaultEpochStat.SurvivedRedundant).
+	SurvivedRedundant int
 	// Completion maps arrival flow IDs to the 1-based epoch in which the
 	// flow's last packet was delivered (absent for flows that lost packets
 	// to unreachability or never drained).
@@ -73,6 +101,15 @@ func (r *FaultResult) DeliveredFraction() float64 {
 		return 0
 	}
 	return float64(r.Delivered) / float64(r.Total)
+}
+
+// UniqueDeliveredFraction returns UniqueDelivered / UniqueTotal (0 for an
+// empty run).
+func (r *FaultResult) UniqueDeliveredFraction() float64 {
+	if r.UniqueTotal == 0 {
+		return 0
+	}
+	return float64(r.UniqueDelivered) / float64(r.UniqueTotal)
 }
 
 // Degradation returns the shortfall of the degraded run relative to the
@@ -114,6 +151,16 @@ func (r *FaultResult) Degradation() float64 {
 // same arrivals is computed so every epoch's delivery can be compared
 // against the fabric-intact baseline.
 func RunFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt FaultOptions) (*FaultResult, error) {
+	return runFaulty(g, arrivals, trace, opt, nil, true)
+}
+
+// runFaulty is the shared fault-tolerant loop behind RunFaulty (red nil,
+// reactive true) and RunRedundantFaulty. With a non-empty redundancy map,
+// dead copies whose group keeps a live copy are discarded instead of
+// repaired, and the Unique* metrics deduplicate delivery per group; with
+// reactive false, epoch-boundary BFS repair is disabled and route-less
+// flows are dropped outright.
+func runFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt FaultOptions, red *traffic.Redundancy, reactive bool) (*FaultResult, error) {
 	if opt.Core.Window <= 0 {
 		return nil, errors.New("online: Core.Window must be positive")
 	}
@@ -122,7 +169,7 @@ func RunFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 	}
 	seen := make(map[int]bool, len(arrivals))
 	arrivalSrc := make(map[int]int, len(arrivals))
-	total := 0
+	total, uniqueTotal := 0, 0
 	for _, a := range arrivals {
 		if a.At < 0 {
 			return nil, fmt.Errorf("online: flow %d has negative arrival %d", a.Flow.ID, a.At)
@@ -133,6 +180,9 @@ func RunFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 		seen[a.Flow.ID] = true
 		arrivalSrc[a.Flow.ID] = a.Flow.Src
 		total += a.Flow.Size
+		if !red.Duplicate(a.Flow.ID) {
+			uniqueTotal += a.Flow.Size
+		}
 	}
 	var ref *Result
 	if !opt.SkipReference {
@@ -159,10 +209,13 @@ func RunFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 		}
 	}
 
-	res := &FaultResult{Total: total, Completion: make(map[int]int), Reference: ref}
+	res := &FaultResult{Total: total, UniqueTotal: uniqueTotal, Completion: make(map[int]int), Reference: ref}
 	backlog := &traffic.Load{}
 	origin := make(map[int]int)      // backlog flow ID -> arrival flow ID
 	outstanding := make(map[int]int) // arrival flow ID -> undelivered packets
+	deliveredBy := make(map[int]int) // arrival flow ID -> delivered packets so far
+	members := red.Members()         // group primary -> member arrival IDs
+	uniquePrev := 0                  // unique delivered through the previous epoch
 	cur := trace.Cursor()
 	nextArrival := 0
 	nextID := 0
@@ -190,13 +243,20 @@ func RunFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 			FailedNodes:  cur.FailedNodes(),
 			RefDelivered: refDelivered(ref, epoch),
 		}
-		repairBacklog(fabric, backlog, origin, arrivalSrc, &stat)
+		repairBacklog(fabric, backlog, origin, arrivalSrc, &stat, red, reactive)
 		res.Dropped += stat.Dropped
+		res.SurvivedRedundant += stat.SurvivedRedundant
 		observeRepair(opt.Core.Obs, &stat)
 
 		if len(backlog.Flows) == 0 {
 			if nextArrival == len(queue) {
-				break // drained (or dropped) and no more arrivals
+				// Drained (or dropped) and no more arrivals. A boundary
+				// that still repaired or gave up on packets is recorded;
+				// a plain empty boundary is not an epoch.
+				if stat.Dropped > 0 || stat.SurvivedRedundant > 0 || stat.Rerouted > 0 {
+					res.Epochs = append(res.Epochs, stat)
+				}
+				break
 			}
 			res.Epochs = append(res.Epochs, stat)
 			continue // idle epoch waiting for arrivals
@@ -232,6 +292,7 @@ func RunFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 			}
 			orig := origin[f.ID]
 			outstanding[orig] -= delivered
+			deliveredBy[orig] += delivered
 			if outstanding[orig] == 0 {
 				res.Completion[orig] = epoch + 1
 			}
@@ -246,6 +307,10 @@ func RunFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 			}
 		}
 		res.Delivered += sres.Delivered
+		res.Psi += sres.Psi
+		uniqueNow := uniqueDelivered(deliveredBy, red, members)
+		stat.UniqueDelivered = uniqueNow - uniquePrev
+		uniquePrev = uniqueNow
 		stat.Offered = sres.TotalPackets
 		stat.Delivered = sres.Delivered
 		stat.Backlog = sres.Pending
@@ -260,7 +325,30 @@ func RunFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 		origin = newOrigin
 		nextID = maxNew + 1
 	}
+	res.UniqueDelivered = uniquePrev
 	return res, nil
+}
+
+// uniqueDelivered deduplicates cumulative per-arrival delivery counts:
+// ungrouped flows count their own packets, and each redundancy group counts
+// its best copy once.
+func uniqueDelivered(deliveredBy map[int]int, red *traffic.Redundancy, members map[int][]int) int {
+	unique := 0
+	for id, d := range deliveredBy {
+		if _, ok := red.GroupOf(id); !ok {
+			unique += d
+		}
+	}
+	for _, ids := range members {
+		best := 0
+		for _, id := range ids {
+			if d := deliveredBy[id]; d > best {
+				best = d
+			}
+		}
+		unique += best
+	}
+	return unique
 }
 
 // observeRepair records an epoch boundary's fault-repair outcome: the
@@ -290,10 +378,31 @@ func observeRepair(o *obs.Observer, stat *FaultEpochStat) {
 
 // repairBacklog rewrites the backlog in place against the surviving fabric:
 // flows keep the candidate routes that survived; flows whose every route
-// died are rerouted onto a BFS shortest surviving path from their current
-// position; flows with no surviving path are dropped. Degradation counts
-// accumulate onto stat.
-func repairBacklog(fabric *graph.Digraph, backlog *traffic.Load, origin, arrivalSrc map[int]int, stat *FaultEpochStat) {
+// died are discarded when a sibling copy of their redundancy group still
+// has a live route (proactive redundancy absorbing the failure), otherwise
+// rerouted onto a BFS shortest surviving path from their current position
+// (reactive repair, when enabled); flows with no surviving path are
+// dropped. Degradation counts accumulate onto stat.
+func repairBacklog(fabric *graph.Digraph, backlog *traffic.Load, origin, arrivalSrc map[int]int, stat *FaultEpochStat, red *traffic.Redundancy, reactive bool) {
+	// Pass 1: which redundancy groups still have a copy with a live route.
+	// Computed before any repair, so reroutes never count as redundancy.
+	var groupLive map[int]bool
+	if !red.Empty() {
+		groupLive = make(map[int]bool)
+		for i := range backlog.Flows {
+			f := &backlog.Flows[i]
+			p, ok := red.GroupOf(origin[f.ID])
+			if !ok || groupLive[p] {
+				continue
+			}
+			for _, r := range f.Routes {
+				if fabric.IsRoute(r) {
+					groupLive[p] = true
+					break
+				}
+			}
+		}
+	}
 	kept := backlog.Flows[:0]
 	for i := range backlog.Flows {
 		f := backlog.Flows[i]
@@ -310,6 +419,16 @@ func repairBacklog(fabric *graph.Digraph, backlog *traffic.Load, origin, arrival
 			// Some candidates died; the survivors carry the flow.
 			f.Routes = alive
 		default:
+			if p, ok := red.GroupOf(origin[f.ID]); ok && groupLive[p] {
+				// A sibling copy survives with a live route: the dead
+				// copy's packets are redundant, not lost.
+				stat.SurvivedRedundant += f.Size
+				continue
+			}
+			if !reactive {
+				stat.Dropped += f.Size
+				continue
+			}
 			r, ok := traffic.ShortestRoute(fabric, f.Src, f.Dst)
 			if !ok {
 				stat.Dropped += f.Size

@@ -1,0 +1,47 @@
+package online
+
+import (
+	"octopus/internal/fault"
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+)
+
+// RedundantFaultOptions configures a fault-tolerant online run over a
+// redundancy-expanded arrival stream (see traffic.ExpandRedundant): each
+// critical flow arrives as several single-route copy flows, identified as
+// one group by Redundancy.
+type RedundantFaultOptions struct {
+	FaultOptions
+
+	// Redundancy maps arrival flow IDs to their copy groups. nil (or an
+	// empty group map) makes the run identical to RunFaulty modulo the
+	// NoReactive switch.
+	Redundancy *traffic.Redundancy
+
+	// NoReactive disables the epoch-boundary BFS repair: a flow whose
+	// every route died is dropped outright (unless a sibling copy of its
+	// group survives). This isolates the proactive arm of the
+	// proactive-vs-reactive comparison; RunFaulty always repairs.
+	NoReactive bool
+}
+
+// RunRedundantFaulty layers proactive multipath redundancy under the
+// reactive fault-tolerant loop of RunFaulty. The arrivals are expected to
+// be redundancy-expanded: copies of a critical flow are independent
+// arrivals tied together by opt.Redundancy. The loop is RunFaulty's —
+// epoch snapshots, repair, plan, audit — with two differences at the
+// repair step and in the accounting:
+//
+//   - a copy whose every route died is discarded without repair when a
+//     sibling copy of its group still has a live route (counted as
+//     SurvivedRedundant): the survivor already carries the group's data;
+//   - delivery is deduplicated per group into UniqueDelivered /
+//     UniqueTotal — a group counts once, by its best copy — while the raw
+//     Delivered / Psi keep the duplicate effort visible as the overhead ψ
+//     of proactive protection.
+//
+// With an empty Redundancy and NoReactive false the run is bit-identical
+// to RunFaulty. The run is deterministic given (arrivals, trace, options).
+func RunRedundantFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt RedundantFaultOptions) (*FaultResult, error) {
+	return runFaulty(g, arrivals, trace, opt.FaultOptions, opt.Redundancy, !opt.NoReactive)
+}

@@ -1,0 +1,133 @@
+package simulate
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"octopus/internal/core"
+	"octopus/internal/graph"
+	"octopus/internal/schedule"
+	"octopus/internal/traffic"
+	"octopus/internal/verify"
+)
+
+// TestRedundancyDedup replays a hand-built expanded load (one primary copy
+// on the direct route, one duplicate copy on a 2-hop detour, one plain flow)
+// and checks the deduplicated metrics exactly: a group contributes the max
+// over its copies, the copy's ψ and hops are charged as duplicate overhead,
+// and the raw metrics still count everything.
+func TestRedundancyDedup(t *testing.T) {
+	g := graph.Complete(4)
+	load := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 0, Size: 5, Src: 0, Dst: 3, Routes: []traffic.Route{{0, 3}}},
+		{ID: 10, Size: 5, Src: 0, Dst: 3, Routes: []traffic.Route{{0, 1, 3}}},
+		{ID: 1, Size: 2, Src: 2, Dst: 3, Routes: []traffic.Route{{2, 3}}},
+	}}
+	red := &traffic.Redundancy{Group: map[int]int{0: 0, 10: 0}}
+	sch := &schedule.Schedule{Delta: 1, Configs: []schedule.Configuration{
+		// Copy advances 3 packets to node 1, plain flow delivers 2.
+		{Links: []graph.Edge{{From: 0, To: 1}, {From: 2, To: 3}}, Alpha: 3},
+		// Primary delivers 3.
+		{Links: []graph.Edge{{From: 0, To: 3}}, Alpha: 3},
+		// Copy delivers its 3 staged packets.
+		{Links: []graph.Edge{{From: 1, To: 3}}, Alpha: 5},
+	}}
+	res, err := Run(g, load, sch, Options{Redundancy: red})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPackets != 12 || res.Delivered != 8 {
+		t.Fatalf("raw metrics: total=%d delivered=%d, want 12/8", res.TotalPackets, res.Delivered)
+	}
+	if res.UniqueTotal != 7 {
+		t.Fatalf("UniqueTotal = %d, want 7 (5 copy packets excluded)", res.UniqueTotal)
+	}
+	// Group {0,10}: max(3, 3) = 3 unique, plus the plain flow's 2.
+	if res.UniqueDelivered != 5 {
+		t.Fatalf("UniqueDelivered = %d, want 5", res.UniqueDelivered)
+	}
+	if res.DupHops != 6 {
+		t.Fatalf("DupHops = %d, want 6 (3 packets × 2 hops)", res.DupHops)
+	}
+	if want := int64(6) * traffic.Weight(2); res.DupPsi != want {
+		t.Fatalf("DupPsi = %d, want %d", res.DupPsi, want)
+	}
+	// Raw ψ includes the duplicates: 5 one-hop + 6 copy-hops at weight 1/2.
+	if want := int64(5)*traffic.Weight(1) + int64(6)*traffic.Weight(2); res.Psi != want {
+		t.Fatalf("Psi = %d, want %d", res.Psi, want)
+	}
+	if f := res.UniqueDeliveredFraction(); math.Abs(f-5.0/7.0) > 1e-12 {
+		t.Fatalf("UniqueDeliveredFraction = %v, want 5/7", f)
+	}
+}
+
+// TestRedundancyDedupCopyOutdelivers covers the other direction of the max:
+// when the duplicate copy outdelivers the primary, the group counts the
+// copy's packets, not the primary's.
+func TestRedundancyDedupCopyOutdelivers(t *testing.T) {
+	g := graph.Complete(4)
+	load := &traffic.Load{Flows: []traffic.Flow{
+		{ID: 0, Size: 5, Src: 0, Dst: 3, Routes: []traffic.Route{{0, 3}}},
+		{ID: 10, Size: 5, Src: 0, Dst: 3, Routes: []traffic.Route{{0, 1, 3}}},
+	}}
+	red := &traffic.Redundancy{Group: map[int]int{0: 0, 10: 0}}
+	sch := &schedule.Schedule{Delta: 1, Configs: []schedule.Configuration{
+		{Links: []graph.Edge{{From: 0, To: 3}}, Alpha: 1},
+		{Links: []graph.Edge{{From: 0, To: 1}}, Alpha: 4},
+		{Links: []graph.Edge{{From: 1, To: 3}}, Alpha: 4},
+	}}
+	res, err := Run(g, load, sch, Options{Redundancy: red})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 5 {
+		t.Fatalf("raw delivered = %d, want 5", res.Delivered)
+	}
+	if res.UniqueDelivered != 4 || res.UniqueTotal != 5 {
+		t.Fatalf("unique %d/%d, want 4/5 (max(1,4) over the group)",
+			res.UniqueDelivered, res.UniqueTotal)
+	}
+}
+
+// TestRedundancyEmptyEquivalence checks that a nil Redundancy and an empty
+// one replay bit-identically, with the Unique* metrics mirroring the raw
+// ones and no duplicate overhead.
+func TestRedundancyEmptyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 20; trial++ {
+		inst := verify.RandomInstance(rng).SingleRoute()
+		if len(inst.Load.Flows) == 0 {
+			continue
+		}
+		s, err := core.New(inst.G, inst.Load, core.Options{Window: inst.Window, Delta: inst.Delta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch := plan.Schedule
+		base, err := Run(inst.G, inst.Load, sch, Options{Window: inst.Window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(inst.G, inst.Load, sch, Options{
+			Window: inst.Window, Redundancy: &traffic.Redundancy{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("trial %d: empty redundancy diverges:\n%+v\n%+v", trial, base, got)
+		}
+		if base.UniqueDelivered != base.Delivered || base.UniqueTotal != base.TotalPackets {
+			t.Fatalf("trial %d: unique metrics do not mirror raw ones: %+v", trial, base)
+		}
+		if base.DupHops != 0 || base.DupPsi != 0 {
+			t.Fatalf("trial %d: duplicate overhead without redundancy: %+v", trial, base)
+		}
+	}
+}

@@ -70,6 +70,15 @@ type Options struct {
 	// TrackFlows records per-flow delivery counts in Result.FlowDelivered.
 	TrackFlows bool
 
+	// Redundancy identifies proactive copy groups in the load (see
+	// traffic.ExpandRedundant): delivery is deduplicated per group — a
+	// packet counts once, at its first copy's arrival, so a group
+	// contributes max-over-copies delivered packets — into
+	// Result.UniqueDelivered / UniqueTotal, and the ψ and packet-hops spent
+	// moving non-primary copies are charged to Result.DupPsi / DupHops.
+	// nil (or an empty group map) leaves Unique* mirroring the raw metrics.
+	Redundancy *traffic.Redundancy
+
 	// Faults injects a deterministic failure trace (see internal/fault):
 	// a link that is down — or has a down endpoint — at a slot cannot
 	// carry packets during that slot, so packets wait at their current
@@ -113,6 +122,29 @@ type Result struct {
 	// Stranded counts undelivered packets that ended the replay at an
 	// intermediate node: past their source, short of their destination.
 	Stranded int
+
+	// UniqueDelivered / UniqueTotal are the redundancy-deduplicated
+	// delivery metrics (see Options.Redundancy): duplicate copies do not
+	// add to the offered total, and a copy group counts each packet once,
+	// at its first copy's arrival. They mirror Delivered / TotalPackets
+	// when no redundancy is configured.
+	UniqueDelivered int
+	UniqueTotal     int
+
+	// DupHops and DupPsi are the packet-hops and ψ spent moving
+	// non-primary redundant copies: the overhead the provisioning costs
+	// (always 0 without Options.Redundancy).
+	DupHops int
+	DupPsi  int64
+}
+
+// UniqueDeliveredFraction returns UniqueDelivered / UniqueTotal (0 for
+// empty loads).
+func (r *Result) UniqueDeliveredFraction() float64 {
+	if r.UniqueTotal == 0 {
+		return 0
+	}
+	return float64(r.UniqueDelivered) / float64(r.UniqueTotal)
 }
 
 // DeliveredFraction returns Delivered / TotalPackets (0 for empty loads).
@@ -152,7 +184,9 @@ type group struct {
 	prio   int64 // per-packet queueing priority (ε-adjusted hop weight)
 	pos    int   // current node is route[pos]
 	count  int
-	avail  int // first global slot at which these packets may move
+	avail  int  // first global slot at which these packets may move
+	grp    int  // redundancy group primary flow ID (-1 when ungrouped)
+	dup    bool // non-primary redundant copy: ψ/hops charged as overhead
 }
 
 // linkQueue is the VOQ holding packets at a node whose next hop uses a
@@ -187,13 +221,22 @@ type state struct {
 	eps        int
 	trackFlows bool
 	queues     map[graph.Edge]*linkQueue
-	res        Result
+	red        *traffic.Redundancy
+	// copyDelivered tracks per-copy delivery for grouped flows only, so
+	// finishRedundancy can deduplicate per group.
+	copyDelivered map[int]int
+	dupTotal      int // packets offered by non-primary copies
+	res           Result
 }
 
 func newState(g *graph.Digraph, load *traffic.Load, opt Options) (*state, error) {
 	st := &state{g: g, eps: opt.Epsilon64, trackFlows: opt.TrackFlows, queues: make(map[graph.Edge]*linkQueue)}
 	if opt.TrackFlows {
 		st.res.FlowDelivered = make(map[int]int)
+	}
+	if !opt.Redundancy.Empty() {
+		st.red = opt.Redundancy
+		st.copyDelivered = make(map[int]int)
 	}
 	for i := range load.Flows {
 		f := &load.Flows[i]
@@ -203,6 +246,13 @@ func newState(g *graph.Digraph, load *traffic.Load, opt Options) (*state, error)
 		}
 		r := f.Routes[ri]
 		st.res.TotalPackets += f.Size
+		grp, dup := -1, false
+		if p, ok := st.red.GroupOf(f.ID); ok {
+			grp, dup = p, p != f.ID
+			if dup {
+				st.dupTotal += f.Size
+			}
+		}
 		st.enqueue(&group{
 			flowID: f.ID,
 			route:  r,
@@ -211,6 +261,8 @@ func newState(g *graph.Digraph, load *traffic.Load, opt Options) (*state, error)
 			pos:    0,
 			count:  f.Size,
 			avail:  0,
+			grp:    grp,
+			dup:    dup,
 		})
 	}
 	return st, nil
@@ -252,10 +304,17 @@ func (st *state) serve(e graph.Edge, want, availBy, nextAvail int) int {
 		served += take
 		st.res.Hops += take
 		st.res.Psi += int64(take) * g.weight
+		if g.dup {
+			st.res.DupHops += take
+			st.res.DupPsi += int64(take) * g.weight
+		}
 		if g.pos+1 == len(g.route)-1 {
 			st.res.Delivered += take
 			if st.trackFlows {
 				st.res.FlowDelivered[g.flowID] += take
+			}
+			if g.grp >= 0 {
+				st.copyDelivered[g.flowID] += take
 			}
 		} else {
 			st.enqueue(&group{
@@ -266,6 +325,8 @@ func (st *state) serve(e graph.Edge, want, availBy, nextAvail int) int {
 				pos:    g.pos + 1,
 				count:  take,
 				avail:  nextAvail,
+				grp:    g.grp,
+				dup:    g.dup,
 			})
 		}
 	}
@@ -367,6 +428,7 @@ func Run(g *graph.Digraph, load *traffic.Load, sch *schedule.Schedule, opt Optio
 	}
 	st.res.SlotsUsed = slot
 	st.countStranded()
+	st.finishRedundancy()
 	if opt.Obs.Enabled() {
 		opt.Obs.Gauge("octopus_sim_stranded").Set(int64(st.res.Stranded))
 		tracer.Emit("sim.done",
@@ -412,6 +474,29 @@ func (st *state) runBulkFaulty(links []graph.Edge, start, alpha int, cur *fault.
 	for i, e := range links {
 		st.res.FailedLinkSlots += int64(alpha - up[i])
 		st.serve(e, up[i], start, start+alpha)
+	}
+}
+
+// finishRedundancy fills the deduplicated delivery metrics: without
+// redundancy they mirror the raw ones; with it, duplicate copies leave the
+// offered total and each group counts max-over-copies delivered packets —
+// the packets whose first copy arrived, counted once.
+func (st *state) finishRedundancy() {
+	st.res.UniqueTotal = st.res.TotalPackets - st.dupTotal
+	st.res.UniqueDelivered = st.res.Delivered
+	if st.red.Empty() {
+		return
+	}
+	for _, ids := range st.red.Members() {
+		sum, max := 0, 0
+		for _, id := range ids {
+			d := st.copyDelivered[id]
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+		st.res.UniqueDelivered -= sum - max
 	}
 }
 

@@ -1,0 +1,206 @@
+// Proactive multipath redundancy: provisioning critical flows with
+// pairwise edge-disjoint alternate routes before any failure occurs, the
+// complement of the online package's reactive epoch-boundary repair.
+//
+// The pipeline has three deterministic stages. MarkCritical selects which
+// flows deserve spatial redundancy (the largest ones — losing them hurts
+// most). Redundant populates each critical flow's Routes with up to k−1
+// Bhandari edge-disjoint alternates of its primary route, bounded by a
+// stretch factor. ExpandRedundant then turns each provisioned flow into k
+// independent single-route copy flows plus a Redundancy group map, so the
+// ordinary scheduler plans every copy like any other flow and the simulator
+// (or the online fault loop) deduplicates delivery per group — a packet
+// counts once, at its first copy's arrival.
+package traffic
+
+import (
+	"sort"
+
+	"octopus/internal/graph"
+)
+
+// MarkCritical marks the ⌈frac·len(Flows)⌉ largest flows Critical (ties by
+// ascending flow ID) and clears the flag on the rest, returning how many are
+// marked. frac <= 0 marks none; frac >= 1 marks all. The load's flow order
+// is left untouched.
+func MarkCritical(l *Load, frac float64) int {
+	for i := range l.Flows {
+		l.Flows[i].Critical = false
+	}
+	if frac <= 0 || len(l.Flows) == 0 {
+		return 0
+	}
+	m := int(frac*float64(len(l.Flows)) + 0.999999)
+	if frac >= 1 || m > len(l.Flows) {
+		m = len(l.Flows)
+	}
+	idx := make([]int, len(l.Flows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		fa, fb := &l.Flows[idx[a]], &l.Flows[idx[b]]
+		if fa.Size != fb.Size {
+			return fa.Size > fb.Size
+		}
+		return fa.ID < fb.ID
+	})
+	for _, i := range idx[:m] {
+		l.Flows[i].Critical = true
+	}
+	return m
+}
+
+// Redundant returns a copy of the load in which every Critical flow's
+// Routes are replaced by its primary route plus up to k−1 pairwise
+// edge-disjoint alternates extracted from the fabric with the primary's
+// edges removed (so every route in the set is disjoint from every other).
+// Alternates are capped at maxStretch × the primary's hop count (and always
+// at MaxRouteLen, and at WeightHops when the flow overrides its weight);
+// maxStretch <= 0 leaves only the structural caps. Flow.Redundant records
+// how many disjoint routes each flow ended up with. k <= 1 is the identity
+// transform. The input load is never modified.
+func Redundant(g *graph.Digraph, l *Load, k int, maxStretch float64) *Load {
+	out := l.Clone()
+	if k <= 1 {
+		return out
+	}
+	for i := range out.Flows {
+		f := &out.Flows[i]
+		if !f.Critical || len(f.Routes) == 0 {
+			continue
+		}
+		primary := f.Routes[0]
+		maxHops := MaxRouteLen
+		if maxStretch > 0 {
+			s := int(maxStretch * float64(primary.Hops()))
+			if s < primary.Hops() {
+				s = primary.Hops()
+			}
+			if s < maxHops {
+				maxHops = s
+			}
+		}
+		if f.WeightHops > 0 && f.WeightHops < maxHops {
+			maxHops = f.WeightHops
+		}
+		onPrimary := make(map[graph.Edge]bool, primary.Hops())
+		for h := 0; h+1 < len(primary); h++ {
+			onPrimary[graph.Edge{From: primary[h], To: primary[h+1]}] = true
+		}
+		residual := g.Subgraph(func(e graph.Edge) bool { return !onPrimary[e] })
+		alts := graph.DisjointRoutes(residual, f.Src, f.Dst, k-1, maxHops)
+		routes := make([]Route, 0, 1+len(alts))
+		routes = append(routes, primary)
+		for _, a := range alts {
+			routes = append(routes, Route(a))
+		}
+		f.Routes = routes
+		if len(routes) > 1 {
+			f.Redundant = len(routes)
+		}
+	}
+	return out
+}
+
+// Redundancy describes the copy groups of an expanded redundant load.
+type Redundancy struct {
+	// Group maps each copy flow's ID (the primary copy included) to the
+	// group's primary flow ID. Flows absent from the map are unreplicated.
+	Group map[int]int
+}
+
+// Empty reports whether no flow carries redundant copies.
+func (r *Redundancy) Empty() bool { return r == nil || len(r.Group) == 0 }
+
+// GroupOf returns the primary flow ID of id's redundancy group and whether
+// id belongs to one.
+func (r *Redundancy) GroupOf(id int) (int, bool) {
+	if r == nil {
+		return 0, false
+	}
+	p, ok := r.Group[id]
+	return p, ok
+}
+
+// Duplicate reports whether id is a non-primary copy: a flow whose packets
+// are redundant duplicates of its group primary's.
+func (r *Redundancy) Duplicate(id int) bool {
+	if r == nil {
+		return false
+	}
+	p, ok := r.Group[id]
+	return ok && p != id
+}
+
+// Members returns the group map inverted: primary flow ID → all member IDs
+// in ascending order (primary first, since copies get larger IDs).
+func (r *Redundancy) Members() map[int][]int {
+	if r == nil {
+		return nil
+	}
+	m := make(map[int][]int, len(r.Group))
+	for id, p := range r.Group {
+		m[p] = append(m[p], id)
+	}
+	for p := range m {
+		sort.Ints(m[p])
+	}
+	return m
+}
+
+// ExpandRedundant splits every flow with Redundant > 1 into one
+// single-route copy flow per provisioned route: the primary copy keeps the
+// flow's ID and primary route, and each alternate becomes a copy flow with
+// a fresh ID past the load's maximum (assigned in flow order, so the
+// expansion is deterministic). The returned Redundancy maps every copy to
+// its group. Loads without redundant flows expand to a plain clone and an
+// Empty redundancy. The input load is never modified.
+func ExpandRedundant(l *Load) (*Load, *Redundancy) {
+	nextID := 0
+	for i := range l.Flows {
+		if l.Flows[i].ID >= nextID {
+			nextID = l.Flows[i].ID + 1
+		}
+	}
+	out := &Load{Flows: make([]Flow, 0, len(l.Flows))}
+	red := &Redundancy{Group: make(map[int]int)}
+	for i := range l.Flows {
+		f := &l.Flows[i]
+		if f.Redundant <= 1 || len(f.Routes) <= 1 {
+			cf := *f
+			cf.Routes = make([]Route, len(f.Routes))
+			for j, r := range f.Routes {
+				cf.Routes[j] = append(Route(nil), r...)
+			}
+			out.Flows = append(out.Flows, cf)
+			continue
+		}
+		for j, r := range f.Routes {
+			cf := *f
+			cf.Routes = []Route{append(Route(nil), r...)}
+			cf.Redundant = 0
+			if j > 0 {
+				cf.ID = nextID
+				nextID++
+			}
+			red.Group[cf.ID] = f.ID
+			out.Flows = append(out.Flows, cf)
+		}
+	}
+	return out, red
+}
+
+// UniqueTotal returns the deduplicated packet count of an expanded load:
+// duplicate copies do not add to the offered total.
+func (r *Redundancy) UniqueTotal(l *Load) int {
+	total := 0
+	for i := range l.Flows {
+		f := &l.Flows[i]
+		if r.Duplicate(f.ID) {
+			continue
+		}
+		total += f.Size
+	}
+	return total
+}

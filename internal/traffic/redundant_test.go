@@ -1,0 +1,189 @@
+package traffic
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"octopus/internal/graph"
+)
+
+func TestMarkCritical(t *testing.T) {
+	l := &Load{Flows: []Flow{
+		{ID: 0, Size: 5, Src: 0, Dst: 1, Routes: []Route{{0, 1}}},
+		{ID: 1, Size: 9, Src: 1, Dst: 2, Routes: []Route{{1, 2}}},
+		{ID: 2, Size: 5, Src: 2, Dst: 3, Routes: []Route{{2, 3}}},
+		{ID: 3, Size: 1, Src: 3, Dst: 0, Routes: []Route{{3, 0}}},
+	}}
+	if got := MarkCritical(l, 0); got != 0 {
+		t.Fatalf("frac=0 marked %d", got)
+	}
+	if got := MarkCritical(l, 0.5); got != 2 {
+		t.Fatalf("frac=0.5 marked %d, want 2", got)
+	}
+	// Largest first, ties by ascending ID: flow 1 (size 9), then flow 0
+	// (size 5, beats flow 2 on ID).
+	want := []bool{true, true, false, false}
+	for i, f := range l.Flows {
+		if f.Critical != want[i] {
+			t.Fatalf("flow %d critical=%v, want %v", f.ID, f.Critical, want[i])
+		}
+	}
+	if got := MarkCritical(l, 1); got != 4 {
+		t.Fatalf("frac=1 marked %d", got)
+	}
+	// Re-marking with a smaller fraction clears stale flags.
+	if got := MarkCritical(l, 0.25); got != 1 {
+		t.Fatalf("frac=0.25 marked %d", got)
+	}
+	for i, f := range l.Flows {
+		if f.Critical != (i == 1) {
+			t.Fatalf("flow %d critical=%v after re-mark", f.ID, f.Critical)
+		}
+	}
+}
+
+func TestRedundantIdentityWhenKOne(t *testing.T) {
+	g := graph.Complete(6)
+	rng := rand.New(rand.NewSource(3))
+	l, err := Synthetic(g, DefaultSyntheticParams(6, 100), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	MarkCritical(l, 1)
+	out := Redundant(g, l, 1, 2)
+	if !reflect.DeepEqual(out, l) {
+		t.Fatal("k=1 is not the identity transform")
+	}
+}
+
+func TestRedundantProvisionsDisjointAlternates(t *testing.T) {
+	g := graph.Complete(6)
+	l := &Load{Flows: []Flow{
+		{ID: 7, Size: 4, Src: 0, Dst: 5, Critical: true, Routes: []Route{{0, 5}}},
+		{ID: 8, Size: 2, Src: 1, Dst: 2, Routes: []Route{{1, 2}}}, // not critical
+	}}
+	out := Redundant(g, l, 3, 2)
+	if err := out.Validate(g); err != nil {
+		t.Fatalf("transformed load invalid: %v", err)
+	}
+	f := &out.Flows[0]
+	if f.Redundant != 3 || len(f.Routes) != 3 {
+		t.Fatalf("critical flow got %d routes (Redundant=%d), want 3", len(f.Routes), f.Redundant)
+	}
+	if !f.Routes[0].Equal(Route{0, 5}) {
+		t.Fatalf("primary route changed: %v", f.Routes[0])
+	}
+	seen := map[graph.Edge]bool{}
+	for _, r := range f.Routes {
+		if r.Hops() > 2 {
+			t.Fatalf("route %v exceeds stretch cap 2×1", r)
+		}
+		for h := 0; h+1 < len(r); h++ {
+			e := graph.Edge{From: r[h], To: r[h+1]}
+			if seen[e] {
+				t.Fatalf("edge %v reused across provisioned routes %v", e, f.Routes)
+			}
+			seen[e] = true
+		}
+	}
+	if out.Flows[1].Redundant != 0 || len(out.Flows[1].Routes) != 1 {
+		t.Fatal("non-critical flow was touched")
+	}
+	// The input load must be untouched.
+	if len(l.Flows[0].Routes) != 1 {
+		t.Fatal("input load mutated")
+	}
+}
+
+func TestRedundantRespectsSparseFabric(t *testing.T) {
+	// A directed ring has no alternate: the flow keeps only its primary.
+	g := graph.ChordRing(6)
+	l := &Load{Flows: []Flow{
+		{ID: 0, Size: 1, Src: 0, Dst: 2, Critical: true, Routes: []Route{{0, 1, 2}}},
+	}}
+	out := Redundant(g, l, 3, 0)
+	if len(out.Flows[0].Routes) != 1 || out.Flows[0].Redundant != 0 {
+		t.Fatalf("ring flow got %v (Redundant=%d)", out.Flows[0].Routes, out.Flows[0].Redundant)
+	}
+}
+
+func TestExpandRedundant(t *testing.T) {
+	g := graph.Complete(6)
+	l := &Load{Flows: []Flow{
+		{ID: 0, Size: 4, Src: 0, Dst: 5, Critical: true, Routes: []Route{{0, 5}}},
+		{ID: 1, Size: 2, Src: 1, Dst: 2, Routes: []Route{{1, 2}}},
+	}}
+	prov := Redundant(g, l, 3, 2)
+	exp, red := ExpandRedundant(prov)
+	if err := exp.Validate(g); err != nil {
+		t.Fatalf("expanded load invalid: %v", err)
+	}
+	if len(exp.Flows) != 4 {
+		t.Fatalf("expanded to %d flows, want 4", len(exp.Flows))
+	}
+	for i := range exp.Flows {
+		if n := len(exp.Flows[i].Routes); n != 1 {
+			t.Fatalf("expanded flow %d has %d routes", exp.Flows[i].ID, n)
+		}
+	}
+	if red.Empty() {
+		t.Fatal("redundancy map is empty")
+	}
+	members := red.Members()
+	if !reflect.DeepEqual(members[0], []int{0, 2, 3}) {
+		t.Fatalf("group members %v, want [0 2 3]", members[0])
+	}
+	if red.Duplicate(0) || !red.Duplicate(2) || !red.Duplicate(3) || red.Duplicate(1) {
+		t.Fatalf("duplicate classification wrong: %+v", red.Group)
+	}
+	if got := red.UniqueTotal(exp); got != 6 {
+		t.Fatalf("UniqueTotal = %d, want 6 (copies excluded)", got)
+	}
+	if exp.TotalPackets() != 14 {
+		t.Fatalf("raw total %d, want 14 (4×3 copies + 2)", exp.TotalPackets())
+	}
+
+	// Without redundant flows the expansion is a plain deep clone.
+	plain, red2 := ExpandRedundant(l)
+	if !red2.Empty() {
+		t.Fatal("plain load produced groups")
+	}
+	if !reflect.DeepEqual(plain, l) {
+		t.Fatal("plain expansion is not the identity")
+	}
+}
+
+func TestRedundantFieldsRoundTripJSON(t *testing.T) {
+	l := &Load{Flows: []Flow{
+		{ID: 3, Size: 2, Src: 0, Dst: 2, Critical: true, Redundant: 2,
+			Routes: []Route{{0, 2}, {0, 1, 2}}},
+	}}
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatalf("round trip changed the load: %+v vs %+v", got, l)
+	}
+}
+
+func TestValidateNamesOffendingHop(t *testing.T) {
+	g := graph.ChordRing(5) // ring only: no edge 0->2
+	l := &Load{Flows: []Flow{
+		{ID: 9, Size: 1, Src: 0, Dst: 3, Routes: []Route{{0, 2, 3}}},
+	}}
+	err := l.Validate(g)
+	if err == nil {
+		t.Fatal("validation accepted a route off the fabric")
+	}
+	want := "traffic: flow 9 route [0 2 3]: hop 0 (0->2) is not a fabric link"
+	if err.Error() != want {
+		t.Fatalf("error %q, want %q", err, want)
+	}
+}

@@ -86,6 +86,16 @@ type Flow struct {
 	// unordered one-hop decomposition of a flow keeps the original flow's
 	// packet weight. Must be at least the hop count of every route.
 	WeightHops int `json:"weight_hops,omitempty"`
+
+	// Critical marks the flow as eligible for proactive redundancy: the
+	// Redundant transform provisions disjoint alternate routes only for
+	// critical flows (see MarkCritical).
+	Critical bool `json:"critical,omitempty"`
+
+	// Redundant, when > 1, records that the flow's Routes hold that many
+	// pairwise edge-disjoint routes provisioned by the Redundant transform
+	// (primary first). ExpandRedundant turns them into per-copy flows.
+	Redundant int `json:"redundant,omitempty"`
 }
 
 // WeightLen returns the hop count from which packet weights for route r of
@@ -185,6 +195,9 @@ func (l *Load) Validate(g *graph.Digraph) error {
 		if f.WeightHops < 0 || f.WeightHops > MaxRouteLen {
 			return fmt.Errorf("traffic: flow %d has invalid WeightHops %d", f.ID, f.WeightHops)
 		}
+		if f.Redundant < 0 || f.Redundant > len(f.Routes) {
+			return fmt.Errorf("traffic: flow %d claims %d redundant routes but has %d", f.ID, f.Redundant, len(f.Routes))
+		}
 		for _, r := range f.Routes {
 			if r.Hops() < 1 || r.Hops() > MaxRouteLen {
 				return fmt.Errorf("traffic: flow %d route %v has invalid hop count", f.ID, r)
@@ -194,6 +207,11 @@ func (l *Load) Validate(g *graph.Digraph) error {
 			}
 			if r.Src() != f.Src || r.Dst() != f.Dst {
 				return fmt.Errorf("traffic: flow %d route %v does not connect %d->%d", f.ID, r, f.Src, f.Dst)
+			}
+			for h := 0; h+1 < len(r); h++ {
+				if !g.HasEdge(r[h], r[h+1]) {
+					return fmt.Errorf("traffic: flow %d route %v: hop %d (%d->%d) is not a fabric link", f.ID, r, h, r[h], r[h+1])
+				}
 			}
 			if !g.IsRoute(r) {
 				return fmt.Errorf("traffic: flow %d route %v is not a path of the fabric", f.ID, r)

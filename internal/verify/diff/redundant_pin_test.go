@@ -1,0 +1,58 @@
+package diff
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/algo"
+	"octopus/internal/verify"
+)
+
+// TestRedundantPinnedToOctopus pins octopus-redundant:red=1,crit=0 to
+// plain octopus: with redundancy disabled the expansion is the identity
+// transform, so the schedule, the claimed plan, and the measured metrics
+// must all be bit-for-bit identical — the fingerprints agree on every
+// instance.
+func TestRedundantPinnedToOctopus(t *testing.T) {
+	base, ok := algo.Lookup("octopus")
+	if !ok {
+		t.Fatal("octopus not registered")
+	}
+	red, ok := algo.Lookup("octopus-redundant")
+	if !ok {
+		t.Fatal("octopus-redundant not registered")
+	}
+	rng := rand.New(rand.NewSource(23))
+	checked := 0
+	for checked < 40 {
+		inst := verify.RandomInstance(rng)
+		if len(inst.Load.Flows) == 0 {
+			continue
+		}
+		checked++
+		p := algo.Params{Window: inst.Window, Delta: inst.Delta}
+		wantOut, err := base.Run(inst.G, inst.Load, p)
+		if err != nil {
+			t.Fatalf("instance %d: octopus: %v", checked, err)
+		}
+		rp := p
+		rp.Redundancy = 1
+		rp.CritFrac = 0
+		gotOut, err := red.Run(inst.G, inst.Load, rp)
+		if err != nil {
+			t.Fatalf("instance %d: octopus-redundant: %v", checked, err)
+		}
+		want, err := (&Outcome{Outcome: wantOut}).Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := (&Outcome{Outcome: gotOut}).Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != got {
+			t.Fatalf("instance %d: octopus-redundant:red=1,crit=0 diverges from octopus:\n%s\nvs\n%s",
+				checked, got, want)
+		}
+	}
+}

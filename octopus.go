@@ -36,6 +36,7 @@ import (
 	"octopus/internal/algo"
 	"octopus/internal/baseline"
 	"octopus/internal/core"
+	"octopus/internal/fault"
 	"octopus/internal/graph"
 	"octopus/internal/hybrid"
 	"octopus/internal/online"
@@ -292,4 +293,77 @@ func RunAlgorithm(spec string, g *Network, load *Load, base AlgoParams) (*AlgoOu
 		return nil, err
 	}
 	return a.Run(g, load, p)
+}
+
+// Fault tolerance and proactive multipath redundancy (DESIGN.md §13–14):
+// slot-stamped failure traces replayed against the epoch-based online loop,
+// reactive repair of broken flows at epoch boundaries, and proactive
+// provisioning of critical flows with pairwise edge-disjoint route copies
+// whose delivery is deduplicated per copy group.
+type (
+	// FaultTrace is a deterministic, slot-stamped failure/recovery script.
+	FaultTrace = fault.Trace
+	// FaultEvent is one failure or recovery event of a trace.
+	FaultEvent = fault.Event
+	// FaultOptions configures a fault-tolerant online run.
+	FaultOptions = online.FaultOptions
+	// FaultResult reports a degraded online run: per-epoch degradation,
+	// drops, and redundancy-deduplicated delivery.
+	FaultResult = online.FaultResult
+	// Redundancy ties the copy flows of an expanded redundant load into
+	// groups that count once at delivery.
+	Redundancy = traffic.Redundancy
+	// RedundantFaultOptions layers proactive copies — and optionally
+	// disables reactive repair — over FaultOptions.
+	RedundantFaultOptions = online.RedundantFaultOptions
+)
+
+// DisjointRoutes extracts up to k pairwise edge-disjoint near-shortest
+// routes from src to dst (Bhandari's construction), each at most maxHops
+// hops. Deterministic for a fixed fabric; fewer than k routes are returned
+// when the fabric cannot support more.
+func DisjointRoutes(g *Network, src, dst, k, maxHops int) []Route {
+	paths := graph.DisjointRoutes(g, src, dst, k, maxHops)
+	routes := make([]Route, len(paths))
+	for i, p := range paths {
+		routes[i] = Route(p)
+	}
+	return routes
+}
+
+// MarkCritical marks the frac largest flows of the load Critical (the ones
+// proactive redundancy will protect) and returns how many were marked.
+func MarkCritical(load *Load, frac float64) int { return traffic.MarkCritical(load, frac) }
+
+// Redundant returns a copy of the load in which every Critical flow is
+// provisioned with up to k−1 pairwise edge-disjoint alternates of its
+// primary route, each at most maxStretch times the primary's hop count.
+func Redundant(g *Network, load *Load, k int, maxStretch float64) *Load {
+	return traffic.Redundant(g, load, k, maxStretch)
+}
+
+// ExpandRedundant splits every provisioned flow into one single-route copy
+// flow per route plus the Redundancy group map the simulator and the fault
+// loop deduplicate with.
+func ExpandRedundant(load *Load) (*Load, *Redundancy) { return traffic.ExpandRedundant(load) }
+
+// CorrelatedTrace builds a failure trace of correlated bursts: burst i
+// takes down every link incident to nodes[i] at slot start+i*period and
+// restores them duration slots later.
+func CorrelatedTrace(g *Network, nodes []int, start, period, duration int) *FaultTrace {
+	return fault.CorrelatedTrace(g, nodes, start, period, duration)
+}
+
+// RunFaulty schedules the arrivals over successive epochs while the fabric
+// degrades and recovers according to trace, reactively repairing broken
+// flows at each epoch boundary.
+func RunFaulty(g *Network, arrivals []Arrival, trace *FaultTrace, opt FaultOptions) (*FaultResult, error) {
+	return online.RunFaulty(g, arrivals, trace, opt)
+}
+
+// RunRedundantFaulty layers proactive multipath redundancy (an expanded
+// arrival stream plus its Redundancy groups) under the reactive
+// fault-tolerant loop; see RedundantFaultOptions.
+func RunRedundantFaulty(g *Network, arrivals []Arrival, trace *FaultTrace, opt RedundantFaultOptions) (*FaultResult, error) {
+	return online.RunRedundantFaulty(g, arrivals, trace, opt)
 }
