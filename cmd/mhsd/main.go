@@ -1,0 +1,137 @@
+// Command mhsd is the long-lived multihop scheduler daemon: it loads a
+// fabric, runs the epoch pipeline continuously with double-buffered
+// planning, and serves the flow-submission API plus the observability
+// endpoints over HTTP until interrupted.
+//
+// API sketch (see README "Running as a service" for examples):
+//
+//	POST   /v1/flows       submit one flow or a JSON array of flows
+//	GET    /v1/flows       queue/backlog/totals summary
+//	DELETE /v1/flows/{id}  cancel a submitted flow
+//	GET    /v1/epochs      recent epoch records + run totals
+//	GET    /v1/fabric      current fabric
+//	POST   /v1/fabric      replace the fabric at the next epoch boundary
+//	GET    /metrics        Prometheus text metrics (plus /debug/vars, /debug/pprof)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"octopus/internal/buildinfo"
+	"octopus/internal/core"
+	"octopus/internal/daemon"
+	"octopus/internal/graph"
+	"octopus/internal/httpd"
+	"octopus/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mhsd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: it parses args with its
+// own FlagSet and writes only to the given writers.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mhsd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:9077", "HTTP listen address (use :0 for an ephemeral port)")
+		addrFile     = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts using -addr :0)")
+		n            = fs.Int("n", 24, "number of network nodes")
+		deg          = fs.Int("deg", 0, "partial fabric with this out-degree per node (0 = complete)")
+		seed         = fs.Int64("seed", 1, "RNG seed for the partial-fabric generator")
+		window       = fs.Int("window", 1000, "window W in time slots")
+		delta        = fs.Int("delta", 20, "reconfiguration delay Δ in time slots")
+		ports        = fs.Int("ports", 1, "input/output ports per node")
+		epoch        = fs.Duration("epoch", 100*time.Millisecond, "wall-clock duration of one epoch")
+		queueLimit   = fs.Int("queue-limit", 1<<20, "max packets queued awaiting admission before submissions get 429")
+		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "max time to drain the backlog on shutdown")
+		audit        = fs.Bool("audit", true, "verify every epoch plan against the fabric before committing it")
+		fingerprints = fs.Bool("fingerprints", false, "attach schedule fingerprints to /v1/epochs records")
+		traceOut     = fs.String("trace-out", "", "write the JSONL decision trace to this file")
+		version      = fs.Bool("version", false, "print the version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		buildinfo.Print(stdout, "mhsd")
+		return nil
+	}
+	if *n < 2 {
+		return fmt.Errorf("need at least 2 nodes, have %d", *n)
+	}
+
+	var fabric *graph.Digraph
+	if *deg > 0 {
+		fabric = graph.RandomPartial(*n, *deg, rand.New(rand.NewSource(*seed)))
+	} else {
+		fabric = graph.Complete(*n)
+	}
+
+	var tracer *obs.Tracer
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		tracer = obs.NewTracer(f)
+	}
+
+	s, err := daemon.New(daemon.Options{
+		Fabric:           fabric,
+		Core:             core.Options{Window: *window, Delta: *delta, Ports: *ports},
+		EpochDuration:    *epoch,
+		QueueLimit:       *queueLimit,
+		DrainTimeout:     *drainTimeout,
+		Audit:            *audit,
+		FingerprintPlans: *fingerprints,
+		Tracer:           tracer,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	ctx, stop := httpd.SignalContext(context.Background())
+	defer stop()
+	fmt.Fprintf(stdout, "mhsd: serving on http://%s (fabric: %d nodes, %d links; window %d, Δ %d, epoch %v)\n",
+		ln.Addr(), fabric.N(), fabric.M(), *window, *delta, *epoch)
+
+	err = s.Run(ctx, ln)
+	if traceFile != nil {
+		if terr := traceFile.Close(); err == nil {
+			err = terr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "mhsd: shutdown complete")
+	return nil
+}

@@ -18,6 +18,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,12 +28,14 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"octopus/internal/algo"
 	"octopus/internal/buildinfo"
 	"octopus/internal/core"
 	"octopus/internal/fault"
 	"octopus/internal/graph"
+	"octopus/internal/httpd"
 	"octopus/internal/obs"
 	"octopus/internal/online"
 	"octopus/internal/schedule"
@@ -40,9 +43,14 @@ import (
 	"octopus/internal/traffic"
 )
 
-// serveHold blocks the process while -serve is active. Tests replace it to
-// probe the endpoints and return instead of blocking forever.
-var serveHold = func(addr string) { select {} }
+// serveShutdownGrace bounds the graceful drain of in-flight requests when
+// -serve is interrupted.
+const serveShutdownGrace = 5 * time.Second
+
+// serveHold blocks while -serve is active, returning once ctx is
+// cancelled (SIGINT/SIGTERM). Tests replace it to probe the endpoints and
+// return immediately instead of waiting for a signal.
+var serveHold = func(ctx context.Context, addr string) { <-ctx.Done() }
 
 // obsSinks bundles the observability wiring of one mhsim invocation: the
 // metrics registry (for -metrics-out and -serve), the decision tracer (for
@@ -121,10 +129,16 @@ func (s *obsSinks) finish(stderr io.Writer, metricsOut, serveAddr string) error 
 			return fmt.Errorf("-serve: %w", err)
 		}
 		fmt.Fprintf(stderr, "serving on http://%s/ (/metrics, /debug/vars, /debug/pprof); interrupt to stop\n", ln.Addr())
+		ctx, stop := httpd.SignalContext(context.Background())
+		defer stop()
 		srv := &http.Server{Handler: obs.Handler(s.reg)}
-		go srv.Serve(ln)
-		serveHold(ln.Addr().String())
-		srv.Close()
+		errCh := make(chan error, 1)
+		go func() { errCh <- httpd.Serve(ctx, srv, ln, serveShutdownGrace) }()
+		serveHold(ctx, ln.Addr().String())
+		stop() // unblocks httpd.Serve when the hold returned without a signal
+		if err := <-errCh; err != nil {
+			return fmt.Errorf("-serve: %w", err)
+		}
 	}
 	return nil
 }

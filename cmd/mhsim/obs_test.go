@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -101,7 +102,7 @@ func TestServeEndpoints(t *testing.T) {
 	defer func() { serveHold = old }()
 	bodies := map[string]string{}
 	var probeErr error
-	serveHold = func(addr string) {
+	serveHold = func(_ context.Context, addr string) {
 		for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/cmdline"} {
 			resp, err := http.Get("http://" + addr + path)
 			if err != nil {

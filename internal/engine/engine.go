@@ -1,0 +1,294 @@
+// Package engine is the stepwise epoch state machine behind the online
+// schedulers and the mhsd daemon: a mutable flow-state store (arrivals,
+// cancellations, backlog carried between epochs) driven by an explicit
+// PlanNext / Commit cycle.
+//
+// PlanNext computes the next epoch's configuration — admission of due
+// arrivals, fault repair against the surviving fabric, and the Octopus
+// plan — WITHOUT mutating the committed pipeline state, so a driver can
+// plan epoch k+1 while epoch k still "executes" (the paper's
+// reconfiguration delay Δ is free compute time). Commit applies a plan:
+// delivery accounting, completion tracking, the residual backlog, and the
+// epoch counter advance. Because PlanNext is a pure function of the
+// committed state, a pipelined driver that overlaps planning with
+// execution produces exactly the schedules of a sequential driver — the
+// property the daemon's double-buffered loop and its tests rest on.
+//
+// Concurrency contract: Submit, SubmitAll, Cancel, QueuedPackets, and
+// QueuedFlows are safe to call from any goroutine at any time (the daemon
+// calls them from HTTP handlers while a plan is in flight). Everything
+// else — PlanNext, Commit, ReloadFabric, and the committed-state accessors
+// — must be serialized by one driver goroutine.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"octopus/internal/core"
+	"octopus/internal/fault"
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+)
+
+// Arrival is one flow plus the slot at which the controller learns of it.
+type Arrival struct {
+	Flow traffic.Flow
+	At   int
+}
+
+// Config configures a Pipeline. Core.Window is the epoch length.
+type Config struct {
+	Core core.Options
+
+	// KeepPlans retains each epoch's scheduler result, scheduled load, and
+	// fabric snapshot on its stat, so every per-epoch schedule can be
+	// audited independently. Costs memory proportional to the run.
+	KeepPlans bool
+
+	// Trace optionally degrades and recovers the fabric according to a
+	// slot-stamped failure script (nil runs failure-free). Only consulted
+	// when Repair is set.
+	Trace *fault.Trace
+
+	// Repair enables the epoch-boundary fault machinery: surviving-fabric
+	// snapshots, route repair of broken flows, delta jitter, and the
+	// redundancy-deduplicated delivery accounting. The fault-tolerant
+	// online drivers and the daemon set it; the plain online loop does
+	// not.
+	Repair bool
+
+	// Reactive selects BFS rerouting for flows whose every route died
+	// (with Repair); false drops them outright unless a redundancy
+	// sibling survives.
+	Reactive bool
+
+	// Red ties redundancy-expanded copy flows into groups that count once
+	// at delivery (see traffic.ExpandRedundant).
+	Red *traffic.Redundancy
+
+	// Audit verifies every epoch's plan against the fabric it was planned
+	// for, failing the run on any infeasibility.
+	Audit bool
+}
+
+// Totals is the pipeline's cumulative packet accounting. Packets are
+// conserved: Submitted = Delivered + Dropped + Cancelled +
+// SurvivedRedundant + backlogged + still queued.
+type Totals struct {
+	Submitted         int   `json:"submitted"`          // packets ever submitted
+	UniqueSubmitted   int   `json:"unique_submitted"`   // submitted, counting each redundancy group once
+	Delivered         int   `json:"delivered"`          // packets delivered (duplicates included)
+	Dropped           int   `json:"dropped"`            // packets abandoned as unreachable
+	Cancelled         int   `json:"cancelled"`          // packets discarded by cancellations
+	SurvivedRedundant int   `json:"survived_redundant"` // packets of dead copies a sibling copy carried
+	UniqueDelivered   int   `json:"unique_delivered"`   // delivered, counting each group by its best copy
+	Psi               int64 `json:"psi"`                // Σ per-epoch plan ψ in traffic.WeightScale units
+}
+
+// Pipeline is the epoch state machine. Create one with New, feed it with
+// Submit/SubmitAll, and drive it with PlanNext/Commit.
+type Pipeline struct {
+	g   *graph.Digraph
+	cfg Config
+	cur *fault.Cursor // non-nil in repair mode
+
+	// mu guards the submission side: the arrival queue, the cancellation
+	// requests, and the submission totals. Everything below it is
+	// committed epoch state owned by the driver goroutine.
+	mu              sync.Mutex
+	queue           []Arrival
+	nextArrival     int
+	queuedPkts      int
+	seen            map[int]bool
+	cancelled       map[int]bool
+	submitted       int
+	uniqueSubmitted int
+
+	// Committed epoch state: the backlog carried between epochs and the
+	// provenance maps tying renumbered backlog flows to their arrivals.
+	epoch       int
+	backlog     *traffic.Load
+	origin      map[int]int // backlog flow ID -> arrival flow ID
+	arrivalSrc  map[int]int // arrival flow ID -> original source node
+	outstanding map[int]int // arrival flow ID -> undelivered packets
+	deliveredBy map[int]int // arrival flow ID -> delivered packets so far
+	members     map[int][]int
+	uniquePrev  int
+	nextID      int
+	completion  map[int]int
+	delivered   int
+	dropped     int
+	cancelledP  int
+	survived    int
+	psi         int64
+}
+
+// New returns a Pipeline over fabric g. The trace, when present, is
+// validated against the fabric up front.
+func New(g *graph.Digraph, cfg Config) (*Pipeline, error) {
+	if cfg.Core.Window <= 0 {
+		return nil, errors.New("engine: Core.Window must be positive")
+	}
+	if err := cfg.Trace.Validate(g); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		g:           g,
+		cfg:         cfg,
+		backlog:     &traffic.Load{},
+		seen:        make(map[int]bool),
+		cancelled:   make(map[int]bool),
+		origin:      make(map[int]int),
+		arrivalSrc:  make(map[int]int),
+		outstanding: make(map[int]int),
+		deliveredBy: make(map[int]int),
+		members:     cfg.Red.Members(),
+		completion:  make(map[int]int),
+	}
+	if cfg.Repair {
+		p.cur = cfg.Trace.Cursor()
+	}
+	return p, nil
+}
+
+// Submit queues one flow to be admitted at the first epoch boundary at or
+// after slot at. Arrivals are admitted in submission order, stopping at
+// the first entry not yet due — callers submitting a batch must order it
+// by At (the online drivers stable-sort first; the daemon submits with the
+// current boundary as At, which is non-decreasing by construction).
+func (p *Pipeline) Submit(f traffic.Flow, at int) error {
+	if at < 0 {
+		return fmt.Errorf("engine: flow %d has negative arrival %d", f.ID, at)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.seen[f.ID] {
+		return fmt.Errorf("engine: duplicate arrival flow ID %d", f.ID)
+	}
+	p.seen[f.ID] = true
+	p.queue = append(p.queue, Arrival{Flow: f, At: at})
+	p.queuedPkts += f.Size
+	p.submitted += f.Size
+	if !p.cfg.Red.Duplicate(f.ID) {
+		p.uniqueSubmitted += f.Size
+	}
+	return nil
+}
+
+// SubmitAll submits the arrivals in order, stopping at the first error.
+func (p *Pipeline) SubmitAll(arrivals []Arrival) error {
+	for _, a := range arrivals {
+		if err := p.Submit(a.Flow, a.At); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cancel asks the pipeline to discard arrival id — whether still queued or
+// already admitted into the backlog — at the next committed boundary.
+// Returns false for an ID that was never submitted. Cancelling an already
+// delivered flow is a harmless no-op.
+func (p *Pipeline) Cancel(id int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.seen[id] {
+		return false
+	}
+	p.cancelled[id] = true
+	return true
+}
+
+// QueuedPackets returns the packets submitted but not yet admitted.
+func (p *Pipeline) QueuedPackets() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queuedPkts
+}
+
+// QueuedFlows returns the flows submitted but not yet admitted.
+func (p *Pipeline) QueuedFlows() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue) - p.nextArrival
+}
+
+// Epoch returns the next epoch to be planned (i.e. the number of epochs
+// committed so far). Driver-side.
+func (p *Pipeline) Epoch() int { return p.epoch }
+
+// Boundary returns the slot of the next epoch boundary. Driver-side.
+func (p *Pipeline) Boundary() int { return p.epoch * p.cfg.Core.Window }
+
+// Fabric returns the current fabric. Driver-side.
+func (p *Pipeline) Fabric() *graph.Digraph { return p.g }
+
+// BacklogPackets returns the packets admitted but not yet delivered,
+// dropped, or cancelled. Driver-side.
+func (p *Pipeline) BacklogPackets() int { return p.backlog.TotalPackets() }
+
+// Done reports whether nothing is queued or backlogged. Driver-side.
+func (p *Pipeline) Done() bool {
+	p.mu.Lock()
+	drained := p.nextArrival == len(p.queue)
+	p.mu.Unlock()
+	return drained && len(p.backlog.Flows) == 0
+}
+
+// Totals returns the cumulative packet accounting. Driver-side.
+func (p *Pipeline) Totals() Totals {
+	p.mu.Lock()
+	t := Totals{Submitted: p.submitted, UniqueSubmitted: p.uniqueSubmitted}
+	p.mu.Unlock()
+	t.Delivered = p.delivered
+	t.Dropped = p.dropped
+	t.Cancelled = p.cancelledP
+	t.SurvivedRedundant = p.survived
+	t.UniqueDelivered = p.uniquePrev
+	t.Psi = p.psi
+	return t
+}
+
+// Completion returns the map from arrival flow IDs to the 1-based epoch in
+// which the flow's last packet was delivered. The map is the pipeline's
+// own bookkeeping — callers take ownership only once the run is over.
+// Driver-side.
+func (p *Pipeline) Completion() map[int]int { return p.completion }
+
+// ReloadFabric swaps the fabric under the pipeline at an epoch boundary.
+// Must be called by the driver between Commit and the next PlanNext, and
+// only in repair mode: flows whose routes the new fabric breaks are
+// repaired (or dropped as unreachable) at the next planned boundary.
+// Fabrics that cannot host an active flow's endpoints are rejected.
+func (p *Pipeline) ReloadFabric(g *graph.Digraph) error {
+	if !p.cfg.Repair {
+		return errors.New("engine: fabric reload requires repair mode")
+	}
+	if !p.cfg.Trace.Empty() {
+		return errors.New("engine: cannot reload the fabric while replaying a failure trace")
+	}
+	check := func(id, src, dst int) error {
+		if src >= g.N() || dst >= g.N() {
+			return fmt.Errorf("engine: fabric with %d nodes cannot host flow %d (%d->%d)",
+				g.N(), id, src, dst)
+		}
+		return nil
+	}
+	for i := range p.backlog.Flows {
+		f := &p.backlog.Flows[i]
+		if err := check(p.origin[f.ID], f.Src, f.Dst); err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, a := range p.queue[p.nextArrival:] {
+		if err := check(a.Flow.ID, a.Flow.Src, a.Flow.Dst); err != nil {
+			return err
+		}
+	}
+	p.g = g
+	return nil
+}

@@ -1,0 +1,412 @@
+package engine
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"octopus/internal/core"
+	"octopus/internal/fault"
+	"octopus/internal/graph"
+	"octopus/internal/traffic"
+	"octopus/internal/verify"
+)
+
+func testArrivals(t *testing.T, seed int64, window int) (*graph.Digraph, []Arrival) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inst := verify.RandomInstance(rng)
+	g, load := inst.G, inst.Load
+	if len(load.Flows) == 0 {
+		t.Skip("empty random instance")
+	}
+	arrivals := make([]Arrival, 0, len(load.Flows))
+	for i, f := range load.Flows {
+		f.Routes = f.Routes[:1]
+		arrivals = append(arrivals, Arrival{Flow: f, At: i * window / 2})
+	}
+	return g, arrivals
+}
+
+func planFP(t *testing.T, res *core.Result) string {
+	t.Helper()
+	if res == nil || res.Schedule == nil {
+		return ""
+	}
+	var buf bytes.Buffer
+	if err := res.Schedule.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:8])
+}
+
+// runSequential drives the pipeline to drain, collecting one fingerprint
+// per committed epoch, and returns them with the final totals.
+func runSequential(t *testing.T, g *graph.Digraph, arrivals []Arrival, cfg Config) ([]string, Totals) {
+	t.Helper()
+	p, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitAll(arrivals); err != nil {
+		t.Fatal(err)
+	}
+	var fps []string
+	for i := 0; i < 10000; i++ {
+		plan, err := p.PlanNext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Commit(plan); err != nil {
+			t.Fatal(err)
+		}
+		if plan.Kind == PlanDrained {
+			return fps, p.Totals()
+		}
+		fps = append(fps, planFP(t, plan.sched))
+	}
+	t.Fatal("pipeline did not drain")
+	return nil, Totals{}
+}
+
+// TestPipelinedEqualsSequential is the engine half of the daemon's
+// pipelining guarantee: planning each epoch on a separate goroutine —
+// overlapped with concurrent submissions, cancellations, and queue reads
+// from other goroutines — produces exactly the schedules of the
+// single-threaded drive. Run under -race this also proves the submission
+// side is properly synchronized against an in-flight PlanNext.
+func TestPipelinedEqualsSequential(t *testing.T) {
+	const window, delta = 60, 4
+	cfg := Config{Core: core.Options{Window: window, Delta: delta}, KeepPlans: true, Repair: true, Reactive: true, Audit: true}
+	for _, seed := range []int64{11, 27, 42} {
+		g, arrivals := testArrivals(t, seed, window)
+		wantFPs, wantTotals := runSequential(t, g, arrivals, cfg)
+
+		p, err := New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.SubmitAll(arrivals); err != nil {
+			t.Fatal(err)
+		}
+		// Decoy traffic far past the horizon: submitted concurrently with
+		// planning, never admitted in the compared range, so the schedules
+		// must not change.
+		farFuture := (len(wantFPs) + 100) * window
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := 1 << 20
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f := arrivals[0].Flow
+				f.ID = id
+				id++
+				if err := p.Submit(f, farFuture); err != nil {
+					t.Error(err)
+					return
+				}
+				p.Cancel(-1) // unknown ID: exercises the lock, changes nothing
+				p.QueuedPackets()
+				p.QueuedFlows()
+			}
+		}()
+		for i := range wantFPs {
+			planCh := make(chan *Plan, 1)
+			errCh := make(chan error, 1)
+			go func() {
+				plan, err := p.PlanNext()
+				planCh <- plan
+				errCh <- err
+			}()
+			plan, err := <-planCh, <-errCh
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := planFP(t, plan.sched); got != wantFPs[i] {
+				t.Fatalf("seed %d epoch %d: pipelined schedule %q != sequential %q", seed, i, got, wantFPs[i])
+			}
+			if _, err := p.Commit(plan); err != nil {
+				t.Fatal(err)
+			}
+		}
+		close(stop)
+		wg.Wait()
+		got := p.Totals()
+		if got.Delivered != wantTotals.Delivered || got.Psi != wantTotals.Psi ||
+			got.Dropped != wantTotals.Dropped || got.UniqueDelivered != wantTotals.UniqueDelivered {
+			t.Fatalf("seed %d: pipelined totals %+v != sequential %+v", seed, got, wantTotals)
+		}
+	}
+}
+
+// TestReplanBeforeCommit: a plan that was computed but never committed can
+// be superseded by a fresh PlanNext for the same epoch (the daemon does
+// this when submissions land while a plan is in flight); the stale plan is
+// then rejected, and the two plans are identical when nothing changed.
+func TestReplanBeforeCommit(t *testing.T) {
+	const window = 50
+	g, arrivals := testArrivals(t, 7, window)
+	cfg := Config{Core: core.Options{Window: window, Delta: 3}, KeepPlans: true}
+	p, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitAll(arrivals); err != nil {
+		t.Fatal(err)
+	}
+	first, err := p.PlanNext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := p.PlanNext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := planFP(t, first.sched), planFP(t, second.sched); a != b {
+		t.Fatalf("re-plan of an unchanged epoch diverged: %q vs %q", a, b)
+	}
+	if _, err := p.Commit(second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Commit(first); err == nil {
+		t.Fatal("committing a superseded plan should fail")
+	} else if !strings.Contains(err.Error(), "stale plan") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, err := p.Commit(second); err == nil {
+		t.Fatal("double commit should fail")
+	}
+}
+
+// TestCancel covers cancellation of a queued arrival, a backlogged flow,
+// and packet conservation across the whole run.
+func TestCancel(t *testing.T) {
+	g := graph.Complete(4)
+	route := func(nodes ...int) traffic.Route { return traffic.Route(nodes) }
+	mk := func(id, src, dst, size int, nodes ...int) traffic.Flow {
+		return traffic.Flow{ID: id, Src: src, Dst: dst, Size: size, Routes: []traffic.Route{route(nodes...)}}
+	}
+	const window = 2 // tiny window so big flows span many epochs
+	cfg := Config{Core: core.Options{Window: window, Delta: 1}, Repair: true, Reactive: true, Audit: true}
+	p, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(mk(1, 0, 1, 40, 0, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(mk(2, 2, 3, 40, 2, 3), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(mk(3, 1, 2, 5, 1, 2), 10*window); err != nil {
+		t.Fatal(err)
+	}
+
+	step := func() *Plan {
+		t.Helper()
+		plan, err := p.PlanNext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Commit(plan); err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	step() // epoch 0: flows 1 and 2 admitted, partially served
+	if p.BacklogPackets() == 0 {
+		t.Fatal("expected a backlog mid-flow")
+	}
+	if !p.Cancel(2) {
+		t.Fatal("cancel of an admitted flow should be accepted")
+	}
+	if !p.Cancel(3) {
+		t.Fatal("cancel of a queued flow should be accepted")
+	}
+	if p.Cancel(99) {
+		t.Fatal("cancel of an unknown flow should be rejected")
+	}
+	plan := step() // epoch 1: backlogged remainder of flow 2 discarded
+	if plan.Stat.Cancelled == 0 {
+		t.Fatal("expected the backlogged cancellation to count packets")
+	}
+	for i := 0; i < 100 && !p.Done(); i++ {
+		step()
+	}
+	if !p.Done() {
+		t.Fatal("pipeline did not drain")
+	}
+	tot := p.Totals()
+	if tot.Cancelled == 0 || tot.Delivered == 0 {
+		t.Fatalf("unexpected totals %+v", tot)
+	}
+	if got := tot.Delivered + tot.Dropped + tot.Cancelled + tot.SurvivedRedundant; got != tot.Submitted {
+		t.Fatalf("packets not conserved: delivered+dropped+cancelled+survived = %d, submitted %d", got, tot.Submitted)
+	}
+	if _, done := p.Completion()[2]; done {
+		t.Fatal("cancelled flow must not appear completed")
+	}
+	// Flow 3 was cancelled while still queued: all 5 packets discarded.
+	if tot.Cancelled < 5 {
+		t.Fatalf("queued cancellation not accounted: %+v", tot)
+	}
+}
+
+// TestReloadFabric covers the live-reload path: a reload that breaks a
+// flow's route triggers repair at the next boundary; invalid reloads are
+// rejected without touching the fabric.
+func TestReloadFabric(t *testing.T) {
+	g := graph.Complete(4)
+	f := traffic.Flow{ID: 1, Src: 0, Dst: 1, Size: 30, Routes: []traffic.Route{{0, 1}}}
+
+	plain, err := New(g, Config{Core: core.Options{Window: 4, Delta: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.ReloadFabric(g); err == nil {
+		t.Fatal("reload outside repair mode should fail")
+	}
+
+	tr := &fault.Trace{Events: []fault.Event{{At: 0, Kind: fault.LinkDown, From: 2, To: 3}}}
+	traced, err := New(g, Config{Core: core.Options{Window: 4, Delta: 1}, Repair: true, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traced.ReloadFabric(g); err == nil {
+		t.Fatal("reload during a failure trace should fail")
+	}
+
+	p, err := New(g, Config{Core: core.Options{Window: 4, Delta: 1}, Repair: true, Reactive: true, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.PlanNext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Commit(plan); err != nil {
+		t.Fatal(err)
+	}
+	if p.BacklogPackets() == 0 {
+		t.Fatal("expected mid-flow backlog before the reload")
+	}
+	if err := p.ReloadFabric(graph.Complete(1)); err == nil {
+		t.Fatal("reload onto a fabric that cannot host the flow should fail")
+	}
+	if p.Fabric() != g {
+		t.Fatal("failed reload must leave the fabric unchanged")
+	}
+	// Remove the 0->1 link: the backlogged flow must be rerouted.
+	g2 := graph.New(4)
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if u != v && !(u == 0 && v == 1) {
+				g2.AddEdge(u, v)
+			}
+		}
+	}
+	if err := p.ReloadFabric(g2); err != nil {
+		t.Fatal(err)
+	}
+	plan, err = p.PlanNext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stat.Rerouted == 0 {
+		t.Fatalf("expected the reload to force a reroute, stat %+v", plan.Stat)
+	}
+	if _, err := p.Commit(plan); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100 && !p.Done(); i++ {
+		plan, err := p.PlanNext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Commit(plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tot := p.Totals()
+	if tot.Delivered != f.Size {
+		t.Fatalf("flow not fully delivered across the reload: %+v", tot)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	p, err := New(graph.Complete(3), Config{Core: core.Options{Window: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := traffic.Flow{ID: 1, Src: 0, Dst: 1, Size: 2, Routes: []traffic.Route{{0, 1}}}
+	if err := p.Submit(f, -1); err == nil {
+		t.Fatal("negative arrival should fail")
+	}
+	if err := p.Submit(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(f, 5); err == nil {
+		t.Fatal("duplicate ID should fail")
+	}
+	if _, err := New(graph.Complete(3), Config{}); err == nil {
+		t.Fatal("zero window should fail")
+	}
+}
+
+// TestDrainedThenResume: the daemon's steady state — committing drained
+// epochs while idle, then resuming when traffic arrives, keeps simulated
+// time advancing and schedules correctly.
+func TestDrainedThenResume(t *testing.T) {
+	const window = 10
+	p, err := New(graph.Complete(3), Config{Core: core.Options{Window: window, Delta: 1}, Repair: true, Reactive: true, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		plan, err := p.PlanNext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Kind != PlanDrained {
+			t.Fatalf("epoch %d: want drained, got kind %d", i, plan.Kind)
+		}
+		if _, err := p.Commit(plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Epoch() != 3 || p.Boundary() != 3*window {
+		t.Fatalf("time did not advance: epoch %d boundary %d", p.Epoch(), p.Boundary())
+	}
+	f := traffic.Flow{ID: 1, Src: 0, Dst: 2, Size: 4, Routes: []traffic.Route{{0, 2}}}
+	if err := p.Submit(f, p.Boundary()); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.PlanNext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != PlanScheduled || plan.Stat.Arrived != 4 {
+		t.Fatalf("resume epoch: kind %d stat %+v", plan.Kind, plan.Stat)
+	}
+	if _, err := p.Commit(plan); err != nil {
+		t.Fatal(err)
+	}
+	if p.Totals().Delivered != 4 {
+		t.Fatalf("delivery after resume: %+v", p.Totals())
+	}
+}

@@ -1,0 +1,84 @@
+package httpd
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func listen(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+// TestServeGracefulShutdown: cancelling the context drains the server and
+// Serve returns nil, with requests answered until the very end.
+func TestServeGracefulShutdown(t *testing.T) {
+	ln := listen(t)
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Serve(ctx, srv, ln, time.Second) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body = %q", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v on a clean shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancellation")
+	}
+}
+
+// TestServeListenerFailure: a listener that dies on its own surfaces the
+// serve error instead of hanging until the context cancels.
+func TestServeListenerFailure(t *testing.T) {
+	ln := listen(t)
+	srv := &http.Server{}
+	done := make(chan error, 1)
+	go func() { done <- Serve(context.Background(), srv, ln, time.Second) }()
+	ln.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Serve returned nil after the listener failed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not notice the dead listener")
+	}
+}
+
+// TestSignalContextStop: stop releases the registration and cancels the
+// derived context.
+func TestSignalContextStop(t *testing.T) {
+	ctx, stop := SignalContext(context.Background())
+	if ctx.Err() != nil {
+		t.Fatalf("fresh signal context already cancelled: %v", ctx.Err())
+	}
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("stop did not cancel the context")
+	}
+}

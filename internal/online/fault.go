@@ -3,14 +3,11 @@ package online
 import (
 	"errors"
 	"fmt"
-	"sort"
 
-	"octopus/internal/core"
+	"octopus/internal/engine"
 	"octopus/internal/fault"
 	"octopus/internal/graph"
-	"octopus/internal/obs"
 	"octopus/internal/traffic"
-	"octopus/internal/verify"
 )
 
 // FaultOptions configures a fault-tolerant online run.
@@ -25,45 +22,7 @@ type FaultOptions struct {
 }
 
 // FaultEpochStat extends EpochStat with the epoch's degradation accounting.
-type FaultEpochStat struct {
-	EpochStat
-
-	FailedLinks int // links individually down at the boundary snapshot
-	FailedNodes int // nodes down at the boundary snapshot
-
-	// Rerouted counts packets whose every route was broken by failures and
-	// was repaired onto a shortest surviving path at this boundary.
-	Rerouted int
-	// Stranded counts the rerouted packets that were requeued from
-	// in-flight positions: stuck at an intermediate node whose onward
-	// route died.
-	Stranded int
-	// Dropped counts packets dropped at this boundary because no surviving
-	// route to their destination exists (source or destination unreachable
-	// on the degraded fabric).
-	Dropped int
-
-	// SurvivedRedundant counts packets of copy flows whose every route died
-	// at this boundary but whose redundancy group kept another copy with a
-	// live route: the dead copy is discarded without reroute or drop — the
-	// surviving copy already carries the group's data (always 0 without
-	// redundancy; see RunRedundantFaulty).
-	SurvivedRedundant int
-
-	// UniqueDelivered is the epoch's redundancy-deduplicated delivery: the
-	// increase of the run's unique delivered count (each copy group counts
-	// once, by its best copy) during this epoch. Without redundancy it
-	// mirrors Delivered.
-	UniqueDelivered int
-
-	// RefDelivered is the failure-free reference run's delivery in this
-	// epoch (-1 when the reference was skipped).
-	RefDelivered int
-
-	// Fabric is the epoch's surviving-fabric snapshot (nil unless
-	// Options.KeepPlans), so each plan can be re-audited independently.
-	Fabric *graph.Digraph
-}
+type FaultEpochStat = engine.FaultEpochStat
 
 // FaultResult reports a fault-tolerant online run. Packets are conserved:
 // Total = Delivered + Dropped + SurvivedRedundant + whatever is still
@@ -154,12 +113,15 @@ func RunFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 	return runFaulty(g, arrivals, trace, opt, nil, true)
 }
 
-// runFaulty is the shared fault-tolerant loop behind RunFaulty (red nil,
+// runFaulty is the shared fault-tolerant driver behind RunFaulty (red nil,
 // reactive true) and RunRedundantFaulty. With a non-empty redundancy map,
 // dead copies whose group keeps a live copy are discarded instead of
 // repaired, and the Unique* metrics deduplicate delivery per group; with
 // reactive false, epoch-boundary BFS repair is disabled and route-less
-// flows are dropped outright.
+// flows are dropped outright. The loop itself lives in engine.Pipeline;
+// this driver feeds it the sorted arrival batch, stamps each plan's
+// RefDelivered from the reference run, and folds the per-epoch stats into
+// a FaultResult.
 func runFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt FaultOptions, red *traffic.Redundancy, reactive bool) (*FaultResult, error) {
 	if opt.Core.Window <= 0 {
 		return nil, errors.New("online: Core.Window must be positive")
@@ -167,22 +129,9 @@ func runFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 	if err := trace.Validate(g); err != nil {
 		return nil, err
 	}
-	seen := make(map[int]bool, len(arrivals))
-	arrivalSrc := make(map[int]int, len(arrivals))
-	total, uniqueTotal := 0, 0
-	for _, a := range arrivals {
-		if a.At < 0 {
-			return nil, fmt.Errorf("online: flow %d has negative arrival %d", a.Flow.ID, a.At)
-		}
-		if seen[a.Flow.ID] {
-			return nil, fmt.Errorf("online: duplicate arrival flow ID %d", a.Flow.ID)
-		}
-		seen[a.Flow.ID] = true
-		arrivalSrc[a.Flow.ID] = a.Flow.Src
-		total += a.Flow.Size
-		if !red.Duplicate(a.Flow.ID) {
-			uniqueTotal += a.Flow.Size
-		}
+	total, uniqueTotal, err := validateArrivals(arrivals, red)
+	if err != nil {
+		return nil, err
 	}
 	var ref *Result
 	if !opt.SkipReference {
@@ -191,284 +140,61 @@ func runFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 		// reflect only the degraded schedule.
 		refOpt := opt.Options
 		refOpt.Core.Obs = nil
-		var err error
 		ref, err = Run(g, arrivals, refOpt)
 		if err != nil {
 			return nil, fmt.Errorf("online: failure-free reference run: %w", err)
 		}
 	}
 
-	queue := append([]Arrival(nil), arrivals...)
-	sort.SliceStable(queue, func(i, j int) bool { return queue[i].At < queue[j].At })
-
-	maxEpochs := opt.MaxEpochs
-	if maxEpochs == 0 {
-		maxEpochs = 16
-		for _, a := range queue {
-			maxEpochs += a.Flow.Size * traffic.MaxRouteLen
-		}
+	queue := sortedQueue(arrivals)
+	p, err := engine.New(g, engine.Config{
+		Core:      opt.Core,
+		KeepPlans: opt.KeepPlans,
+		Trace:     trace,
+		Repair:    true,
+		Reactive:  reactive,
+		Red:       red,
+		Audit:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.SubmitAll(queue); err != nil {
+		return nil, err
 	}
 
-	res := &FaultResult{Total: total, UniqueTotal: uniqueTotal, Completion: make(map[int]int), Reference: ref}
-	backlog := &traffic.Load{}
-	origin := make(map[int]int)      // backlog flow ID -> arrival flow ID
-	outstanding := make(map[int]int) // arrival flow ID -> undelivered packets
-	deliveredBy := make(map[int]int) // arrival flow ID -> delivered packets so far
-	members := red.Members()         // group primary -> member arrival IDs
-	uniquePrev := 0                  // unique delivered through the previous epoch
-	cur := trace.Cursor()
-	nextArrival := 0
-	nextID := 0
-
+	res := &FaultResult{Total: total, UniqueTotal: uniqueTotal, Reference: ref}
+	maxEpochs := epochCap(opt.MaxEpochs, queue)
 	for epoch := 0; epoch < maxEpochs; epoch++ {
-		boundary := epoch * opt.Core.Window
-		cur.AdvanceTo(boundary)
-		arrivedPkts := 0
-		for nextArrival < len(queue) && queue[nextArrival].At <= boundary {
-			a := queue[nextArrival]
-			f := a.Flow
-			origin[nextID] = f.ID
-			outstanding[f.ID] = f.Size
-			f.ID = nextID
-			nextID++
-			backlog.Flows = append(backlog.Flows, f)
-			arrivedPkts += f.Size
-			nextArrival++
+		plan, err := p.PlanNext()
+		if err != nil {
+			return nil, err
 		}
-
-		fabric := cur.SurvivingOf(g)
-		stat := FaultEpochStat{
-			EpochStat:    EpochStat{Epoch: epoch, Arrived: arrivedPkts},
-			FailedLinks:  cur.FailedLinks(),
-			FailedNodes:  cur.FailedNodes(),
-			RefDelivered: refDelivered(ref, epoch),
+		plan.Stat.RefDelivered = refDelivered(ref, epoch)
+		stat, err := p.Commit(plan)
+		if err != nil {
+			return nil, err
 		}
-		repairBacklog(fabric, backlog, origin, arrivalSrc, &stat, red, reactive)
 		res.Dropped += stat.Dropped
 		res.SurvivedRedundant += stat.SurvivedRedundant
-		observeRepair(opt.Core.Obs, &stat)
-
-		if len(backlog.Flows) == 0 {
-			if nextArrival == len(queue) {
-				// Drained (or dropped) and no more arrivals. A boundary
-				// that still repaired or gave up on packets is recorded;
-				// a plain empty boundary is not an epoch.
-				if stat.Dropped > 0 || stat.SurvivedRedundant > 0 || stat.Rerouted > 0 {
-					res.Epochs = append(res.Epochs, stat)
-				}
-				break
+		if plan.Kind == engine.PlanScheduled {
+			res.Delivered += stat.Delivered
+			res.Psi += stat.Psi
+		}
+		if plan.Kind == engine.PlanDrained {
+			// Drained (or dropped) and no more arrivals. A boundary that
+			// still repaired or gave up on packets is recorded; a plain
+			// empty boundary is not an epoch.
+			if plan.Record {
+				res.Epochs = append(res.Epochs, *stat)
 			}
-			res.Epochs = append(res.Epochs, stat)
-			continue // idle epoch waiting for arrivals
+			break
 		}
-
-		// The trace's jitter stretches this epoch's reconfiguration delay;
-		// a jitter so large that no configuration fits idles the epoch.
-		coreOpt := opt.Core
-		coreOpt.Delta = opt.Core.Delta + trace.Jitter(epoch)
-		if coreOpt.Delta >= coreOpt.Window {
-			stat.Backlog = backlog.TotalPackets()
-			res.Epochs = append(res.Epochs, stat)
-			continue
-		}
-
-		s, err := core.New(fabric, backlog, coreOpt)
-		if err != nil {
-			return nil, err
-		}
-		sres, err := s.Run()
-		if err != nil {
-			return nil, err
-		}
-		if err := auditEpoch(fabric, backlog, sres, coreOpt, epoch); err != nil {
-			return nil, err
-		}
-		pending := s.PendingByFlow()
-		for i := range backlog.Flows {
-			f := &backlog.Flows[i]
-			delivered := f.Size - pending[f.ID]
-			if delivered == 0 {
-				continue
-			}
-			orig := origin[f.ID]
-			outstanding[orig] -= delivered
-			deliveredBy[orig] += delivered
-			if outstanding[orig] == 0 {
-				res.Completion[orig] = epoch + 1
-			}
-		}
-		residual, remap := s.ResidualLoadMap()
-		newOrigin := make(map[int]int, len(remap))
-		maxNew := -1
-		for newID, oldID := range remap {
-			newOrigin[newID] = origin[oldID]
-			if newID > maxNew {
-				maxNew = newID
-			}
-		}
-		res.Delivered += sres.Delivered
-		res.Psi += sres.Psi
-		uniqueNow := uniqueDelivered(deliveredBy, red, members)
-		stat.UniqueDelivered = uniqueNow - uniquePrev
-		uniquePrev = uniqueNow
-		stat.Offered = sres.TotalPackets
-		stat.Delivered = sres.Delivered
-		stat.Backlog = sres.Pending
-		observeEpoch(opt.Core.Obs, &stat.EpochStat, len(sres.Schedule.Configs))
-		if opt.KeepPlans {
-			stat.Plan = sres
-			stat.Load = backlog.Clone()
-			stat.Fabric = fabric
-		}
-		res.Epochs = append(res.Epochs, stat)
-		backlog = residual
-		origin = newOrigin
-		nextID = maxNew + 1
+		res.Epochs = append(res.Epochs, *stat)
 	}
-	res.UniqueDelivered = uniquePrev
+	res.UniqueDelivered = p.Totals().UniqueDelivered
+	res.Completion = p.Completion()
 	return res, nil
-}
-
-// uniqueDelivered deduplicates cumulative per-arrival delivery counts:
-// ungrouped flows count their own packets, and each redundancy group counts
-// its best copy once.
-func uniqueDelivered(deliveredBy map[int]int, red *traffic.Redundancy, members map[int][]int) int {
-	unique := 0
-	for id, d := range deliveredBy {
-		if _, ok := red.GroupOf(id); !ok {
-			unique += d
-		}
-	}
-	for _, ids := range members {
-		best := 0
-		for _, id := range ids {
-			if d := deliveredBy[id]; d > best {
-				best = d
-			}
-		}
-		unique += best
-	}
-	return unique
-}
-
-// observeRepair records an epoch boundary's fault-repair outcome: the
-// degradation counters always accumulate; the "online.repair" trace event
-// fires only at boundaries where failures were visible or repairs happened,
-// so failure-free epochs stay silent in the trace.
-func observeRepair(o *obs.Observer, stat *FaultEpochStat) {
-	if !o.Enabled() {
-		return
-	}
-	o.Counter("octopus_online_rerouted_total").Add(int64(stat.Rerouted))
-	o.Counter("octopus_online_stranded_requeued_total").Add(int64(stat.Stranded))
-	o.Counter("octopus_online_dropped_total").Add(int64(stat.Dropped))
-	if stat.FailedLinks == 0 && stat.FailedNodes == 0 &&
-		stat.Rerouted == 0 && stat.Stranded == 0 && stat.Dropped == 0 {
-		return
-	}
-	o.Tracer().Emit("online.repair",
-		obs.I("epoch", int64(stat.Epoch)),
-		obs.I("failed_links", int64(stat.FailedLinks)),
-		obs.I("failed_nodes", int64(stat.FailedNodes)),
-		obs.I("rerouted", int64(stat.Rerouted)),
-		obs.I("stranded", int64(stat.Stranded)),
-		obs.I("dropped", int64(stat.Dropped)),
-	)
-}
-
-// repairBacklog rewrites the backlog in place against the surviving fabric:
-// flows keep the candidate routes that survived; flows whose every route
-// died are discarded when a sibling copy of their redundancy group still
-// has a live route (proactive redundancy absorbing the failure), otherwise
-// rerouted onto a BFS shortest surviving path from their current position
-// (reactive repair, when enabled); flows with no surviving path are
-// dropped. Degradation counts accumulate onto stat.
-func repairBacklog(fabric *graph.Digraph, backlog *traffic.Load, origin, arrivalSrc map[int]int, stat *FaultEpochStat, red *traffic.Redundancy, reactive bool) {
-	// Pass 1: which redundancy groups still have a copy with a live route.
-	// Computed before any repair, so reroutes never count as redundancy.
-	var groupLive map[int]bool
-	if !red.Empty() {
-		groupLive = make(map[int]bool)
-		for i := range backlog.Flows {
-			f := &backlog.Flows[i]
-			p, ok := red.GroupOf(origin[f.ID])
-			if !ok || groupLive[p] {
-				continue
-			}
-			for _, r := range f.Routes {
-				if fabric.IsRoute(r) {
-					groupLive[p] = true
-					break
-				}
-			}
-		}
-	}
-	kept := backlog.Flows[:0]
-	for i := range backlog.Flows {
-		f := backlog.Flows[i]
-		alive := f.Routes[:0:0]
-		for _, r := range f.Routes {
-			if fabric.IsRoute(r) {
-				alive = append(alive, r)
-			}
-		}
-		switch {
-		case len(alive) == len(f.Routes):
-			// Fully intact: nothing to do.
-		case len(alive) > 0:
-			// Some candidates died; the survivors carry the flow.
-			f.Routes = alive
-		default:
-			if p, ok := red.GroupOf(origin[f.ID]); ok && groupLive[p] {
-				// A sibling copy survives with a live route: the dead
-				// copy's packets are redundant, not lost.
-				stat.SurvivedRedundant += f.Size
-				continue
-			}
-			if !reactive {
-				stat.Dropped += f.Size
-				continue
-			}
-			r, ok := traffic.ShortestRoute(fabric, f.Src, f.Dst)
-			if !ok {
-				stat.Dropped += f.Size
-				continue
-			}
-			if f.WeightHops > 0 && r.Hops() > f.WeightHops {
-				// Keep the weight override consistent with the longer
-				// repaired route (weights may only get smaller).
-				f.WeightHops = r.Hops()
-			}
-			f.Routes = []traffic.Route{r}
-			stat.Rerouted += f.Size
-			if f.Src != arrivalSrc[origin[f.ID]] {
-				stat.Stranded += f.Size
-			}
-		}
-		kept = append(kept, f)
-	}
-	backlog.Flows = kept
-}
-
-// auditEpoch validates the epoch's plan against the fabric it was planned
-// for, independently of the scheduler's own bookkeeping. For plain plans the
-// replayed delivery must match the plan's claim exactly; Octopus+ and
-// chained-benefit plans keep bookkeeping a forward replay cannot reproduce,
-// so only the feasibility invariants are enforced for them.
-func auditEpoch(fabric *graph.Digraph, load *traffic.Load, plan *core.Result, coreOpt core.Options, epoch int) error {
-	vopt := verify.Options{
-		Window:    coreOpt.Window,
-		Ports:     coreOpt.Ports,
-		MultiHop:  coreOpt.MultiHop,
-		Epsilon64: coreOpt.Epsilon64,
-	}
-	if !coreOpt.MultiRoute && !coreOpt.MultiHop {
-		vopt.Claim = &verify.Claim{Delivered: plan.Delivered, Hops: plan.Hops, Psi: plan.Psi}
-	}
-	if _, err := verify.Schedule(fabric, load, plan.Schedule, vopt); err != nil {
-		return fmt.Errorf("online: epoch %d plan failed verification against the surviving fabric: %w", epoch, err)
-	}
-	return nil
 }
 
 func refDelivered(ref *Result, epoch int) int {

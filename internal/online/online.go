@@ -6,6 +6,11 @@
 // positions in the network) and runs the Octopus scheduler on the combined
 // load. Older traffic keeps lower flow IDs, so the paper's
 // weight-then-flow-ID priority scheme naturally ages the backlog forward.
+//
+// The epoch state machine itself lives in internal/engine; the Run
+// functions here are thin batch drivers over engine.Pipeline, pinned
+// bit-identical to the pre-extraction monolithic loops by the golden
+// fingerprints in testdata/engine_golden.json.
 package online
 
 import (
@@ -14,16 +19,13 @@ import (
 	"sort"
 
 	"octopus/internal/core"
+	"octopus/internal/engine"
 	"octopus/internal/graph"
-	"octopus/internal/obs"
 	"octopus/internal/traffic"
 )
 
 // Arrival is one flow plus the slot at which the controller learns of it.
-type Arrival struct {
-	Flow traffic.Flow
-	At   int
-}
+type Arrival = engine.Arrival
 
 // Options configures an online run. Core.Window is the epoch length.
 // Core.Obs, when set, additionally receives the online layer's per-epoch
@@ -42,18 +44,7 @@ type Options struct {
 }
 
 // EpochStat summarizes one scheduling epoch.
-type EpochStat struct {
-	Epoch     int // 0-based epoch index
-	Arrived   int // packets newly admitted at this epoch boundary
-	Offered   int // packets scheduled this epoch (arrivals + backlog)
-	Delivered int
-	Backlog   int // packets carried into the next epoch
-
-	// Plan and Load are the epoch's scheduler result and the exact load it
-	// scheduled (nil unless Options.KeepPlans).
-	Plan *core.Result
-	Load *traffic.Load
-}
+type EpochStat = engine.EpochStat
 
 // Result reports an online run.
 type Result struct {
@@ -89,26 +80,46 @@ func (r *Result) MeanCompletionEpochs(arrivals []Arrival, window int) float64 {
 	return total / float64(count)
 }
 
-// observeEpoch records one scheduled epoch on the observer: the per-epoch
-// counters, the live queue-depth gauge, and the "online.epoch" trace event.
-// Read-only with respect to the run; a nil observer costs the Enabled check.
-func observeEpoch(o *obs.Observer, stat *EpochStat, reconfigs int) {
-	if !o.Enabled() {
-		return
+// validateArrivals checks the batch drivers' shared preconditions and
+// returns the total and redundancy-deduplicated packet counts.
+func validateArrivals(arrivals []Arrival, red *traffic.Redundancy) (total, uniqueTotal int, err error) {
+	seen := make(map[int]bool, len(arrivals))
+	for _, a := range arrivals {
+		if a.At < 0 {
+			return 0, 0, fmt.Errorf("online: flow %d has negative arrival %d", a.Flow.ID, a.At)
+		}
+		if seen[a.Flow.ID] {
+			return 0, 0, fmt.Errorf("online: duplicate arrival flow ID %d", a.Flow.ID)
+		}
+		seen[a.Flow.ID] = true
+		total += a.Flow.Size
+		if !red.Duplicate(a.Flow.ID) {
+			uniqueTotal += a.Flow.Size
+		}
 	}
-	o.Counter("octopus_online_epochs_total").Inc()
-	o.Counter("octopus_online_arrived_total").Add(int64(stat.Arrived))
-	o.Counter("octopus_online_delivered_total").Add(int64(stat.Delivered))
-	o.Counter("octopus_online_reconfigs_total").Add(int64(reconfigs))
-	o.Gauge("octopus_online_backlog").Set(int64(stat.Backlog))
-	o.Tracer().Emit("online.epoch",
-		obs.I("epoch", int64(stat.Epoch)),
-		obs.I("arrived", int64(stat.Arrived)),
-		obs.I("offered", int64(stat.Offered)),
-		obs.I("delivered", int64(stat.Delivered)),
-		obs.I("backlog", int64(stat.Backlog)),
-		obs.I("reconfigs", int64(reconfigs)),
-	)
+	return total, uniqueTotal, nil
+}
+
+// sortedQueue returns the arrivals stable-sorted by At, the admission
+// order the engine expects.
+func sortedQueue(arrivals []Arrival) []Arrival {
+	queue := append([]Arrival(nil), arrivals...)
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].At < queue[j].At })
+	return queue
+}
+
+// epochCap returns the run's epoch budget: the configured cap, or a safety
+// cap relative to the offered load (one packet-hop per epoch is a gross
+// underestimate of progress, so the load can always drain within it).
+func epochCap(maxEpochs int, queue []Arrival) int {
+	if maxEpochs != 0 {
+		return maxEpochs
+	}
+	maxEpochs = 16
+	for _, a := range queue {
+		maxEpochs += a.Flow.Size * traffic.MaxRouteLen
+	}
+	return maxEpochs
 }
 
 // Run schedules the arrivals over successive epochs.
@@ -116,110 +127,37 @@ func Run(g *graph.Digraph, arrivals []Arrival, opt Options) (*Result, error) {
 	if opt.Core.Window <= 0 {
 		return nil, errors.New("online: Core.Window must be positive")
 	}
-	seen := make(map[int]bool, len(arrivals))
-	total := 0
-	for _, a := range arrivals {
-		if a.At < 0 {
-			return nil, fmt.Errorf("online: flow %d has negative arrival %d", a.Flow.ID, a.At)
-		}
-		if seen[a.Flow.ID] {
-			return nil, fmt.Errorf("online: duplicate arrival flow ID %d", a.Flow.ID)
-		}
-		seen[a.Flow.ID] = true
-		total += a.Flow.Size
+	total, _, err := validateArrivals(arrivals, nil)
+	if err != nil {
+		return nil, err
 	}
-	queue := append([]Arrival(nil), arrivals...)
-	sort.SliceStable(queue, func(i, j int) bool { return queue[i].At < queue[j].At })
+	queue := sortedQueue(arrivals)
 
-	maxEpochs := opt.MaxEpochs
-	if maxEpochs == 0 {
-		// Safety cap: the offered load can always drain within
-		// total-hops epochs (one packet-hop per epoch is a gross
-		// underestimate of progress).
-		maxEpochs = 16
-		for _, a := range queue {
-			maxEpochs += a.Flow.Size * traffic.MaxRouteLen
-		}
+	p, err := engine.New(g, engine.Config{Core: opt.Core, KeepPlans: opt.KeepPlans})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.SubmitAll(queue); err != nil {
+		return nil, err
 	}
 
-	res := &Result{Total: total, Completion: make(map[int]int)}
-	backlog := &traffic.Load{}
-	// origin maps current backlog flow IDs to arrival flow IDs.
-	origin := make(map[int]int)
-	outstanding := make(map[int]int) // arrival flow ID -> undelivered packets
-	nextArrival := 0
-	nextID := 0
-
+	res := &Result{Total: total}
+	maxEpochs := epochCap(opt.MaxEpochs, queue)
 	for epoch := 0; epoch < maxEpochs; epoch++ {
-		boundary := epoch * opt.Core.Window
-		arrivedPkts := 0
-		for nextArrival < len(queue) && queue[nextArrival].At <= boundary {
-			a := queue[nextArrival]
-			f := a.Flow
-			origin[nextID] = f.ID
-			outstanding[f.ID] = f.Size
-			f.ID = nextID
-			nextID++
-			backlog.Flows = append(backlog.Flows, f)
-			arrivedPkts += f.Size
-			nextArrival++
-		}
-		if len(backlog.Flows) == 0 {
-			if nextArrival == len(queue) {
-				break // drained and no more arrivals
-			}
-			res.Epochs = append(res.Epochs, EpochStat{Epoch: epoch})
-			continue // idle epoch waiting for arrivals
-		}
-
-		s, err := core.New(g, backlog, opt.Core)
+		plan, err := p.PlanNext()
 		if err != nil {
 			return nil, err
 		}
-		sres, err := s.Run()
+		stat, err := p.Commit(plan)
 		if err != nil {
 			return nil, err
 		}
-		// Per-flow delivery accounting against the arrivals.
-		pending := s.PendingByFlow()
-		for i := range backlog.Flows {
-			f := &backlog.Flows[i]
-			delivered := f.Size - pending[f.ID]
-			if delivered == 0 {
-				continue
-			}
-			orig := origin[f.ID]
-			outstanding[orig] -= delivered
-			if outstanding[orig] == 0 {
-				res.Completion[orig] = epoch + 1
-			}
+		if plan.Kind == engine.PlanDrained {
+			break
 		}
-		residual, remap := s.ResidualLoadMap()
-		newOrigin := make(map[int]int, len(remap))
-		maxNew := -1
-		for newID, oldID := range remap {
-			newOrigin[newID] = origin[oldID]
-			if newID > maxNew {
-				maxNew = newID
-			}
-		}
-		res.Delivered += sres.Delivered
-		stat := EpochStat{
-			Epoch:     epoch,
-			Arrived:   arrivedPkts,
-			Offered:   sres.TotalPackets,
-			Delivered: sres.Delivered,
-			Backlog:   sres.Pending,
-		}
-		observeEpoch(opt.Core.Obs, &stat, len(sres.Schedule.Configs))
-		if opt.KeepPlans {
-			stat.Plan = sres
-			stat.Load = backlog.Clone()
-		}
-		res.Epochs = append(res.Epochs, stat)
-		backlog = residual
-		origin = newOrigin
-		nextID = maxNew + 1
+		res.Delivered += stat.Delivered
+		res.Epochs = append(res.Epochs, stat.EpochStat)
 	}
+	res.Completion = p.Completion()
 	return res, nil
 }

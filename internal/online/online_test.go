@@ -136,6 +136,79 @@ func TestOnlineEmptyArrivals(t *testing.T) {
 	}
 }
 
+// TestMeanCompletionEpochs pins the metric's edge cases: a window larger
+// than the whole run, flows that never complete (excluded rather than
+// skewing the mean), and a run where nothing completes at all.
+func TestMeanCompletionEpochs(t *testing.T) {
+	g := graph.Complete(4)
+	mk := func(id, size, at int) Arrival {
+		return Arrival{
+			Flow: traffic.Flow{ID: id, Size: size, Src: 0, Dst: 1, Routes: []traffic.Route{{0, 1}}},
+			At:   at,
+		}
+	}
+
+	// Window much larger than the run: everything is admitted at boundary 0,
+	// fits in epoch 0, and completes one epoch after arrival. The flows use
+	// disjoint links so neither waits for the other.
+	second := Arrival{
+		Flow: traffic.Flow{ID: 2, Size: 2, Src: 2, Dst: 3, Routes: []traffic.Route{{2, 3}}},
+	}
+	arr := []Arrival{mk(1, 3, 0), second}
+	res, err := Run(g, arr, Options{Core: core.Options{Window: 1 << 20, Delta: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MeanCompletionEpochs(arr, 1<<20); got != 1 {
+		t.Fatalf("huge-window mean = %f, want 1", got)
+	}
+
+	// A mid-epoch arrival waits for the next boundary, and the wait counts:
+	// admitted at boundary 1, done at epoch 2 → two epochs, mean 1.5.
+	late := arr
+	late[1].At = 5
+	res, err = Run(g, late, Options{Core: core.Options{Window: 1 << 20, Delta: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MeanCompletionEpochs(late, 1<<20); got != 1.5 {
+		t.Fatalf("mid-epoch-arrival mean = %f, want 1.5", got)
+	}
+
+	// A flow too large to finish under MaxEpochs never enters Completion,
+	// so the mean reflects only the flow that did complete.
+	arr = []Arrival{mk(1, 1, 0), mk(2, 10000, 0)}
+	res, err = Run(g, arr, Options{Core: core.Options{Window: 50, Delta: 5}, MaxEpochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := res.Completion[2]; done {
+		t.Fatal("oversized flow reported complete")
+	}
+	if got := res.MeanCompletionEpochs(arr, 50); got != 1 {
+		t.Fatalf("mean over the completed flow = %f, want 1", got)
+	}
+
+	// Nothing completes: the mean degrades to zero instead of dividing by
+	// zero, whether Completion is empty or the arrivals all missed it.
+	arr = []Arrival{mk(1, 10000, 0)}
+	res, err = Run(g, arr, Options{Core: core.Options{Window: 50, Delta: 5}, MaxEpochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MeanCompletionEpochs(arr, 50); got != 0 {
+		t.Fatalf("mean with no completions = %f, want 0", got)
+	}
+	other := []Arrival{mk(99, 1, 0)}
+	full, err := Run(g, []Arrival{mk(1, 1, 0)}, Options{Core: core.Options{Window: 50, Delta: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := full.MeanCompletionEpochs(other, 50); got != 0 {
+		t.Fatalf("mean over unmatched arrivals = %f, want 0", got)
+	}
+}
+
 // TestEpochPlansValidate audits every epoch's schedule with the independent
 // validator: each epoch's plan must be feasible for the exact load it
 // scheduled, with the plan's claimed metrics matching the replay.

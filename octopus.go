@@ -36,6 +36,8 @@ import (
 	"octopus/internal/algo"
 	"octopus/internal/baseline"
 	"octopus/internal/core"
+	"octopus/internal/daemon"
+	"octopus/internal/engine"
 	"octopus/internal/fault"
 	"octopus/internal/graph"
 	"octopus/internal/hybrid"
@@ -367,3 +369,31 @@ func RunFaulty(g *Network, arrivals []Arrival, trace *FaultTrace, opt FaultOptio
 func RunRedundantFaulty(g *Network, arrivals []Arrival, trace *FaultTrace, opt RedundantFaultOptions) (*FaultResult, error) {
 	return online.RunRedundantFaulty(g, arrivals, trace, opt)
 }
+
+// The stepwise engine and the scheduler daemon behind cmd/mhsd (see
+// DESIGN.md §15). The batch entry points above (ScheduleOnline, RunFaulty,
+// RunRedundantFaulty) are thin drivers over the same Pipeline.
+type (
+	// Pipeline is the mutable epoch state machine: submit and cancel flows
+	// at any time, then alternate PlanNext (compute epoch k+1's
+	// configuration while epoch k executes) and Commit.
+	Pipeline = engine.Pipeline
+	// PipelineConfig configures a Pipeline.
+	PipelineConfig = engine.Config
+	// PipelinePlan is one planned-but-uncommitted epoch.
+	PipelinePlan = engine.Plan
+	// PipelineTotals is the pipeline's cumulative delivery accounting.
+	PipelineTotals = engine.Totals
+	// DaemonOptions configures a scheduler daemon Server.
+	DaemonOptions = daemon.Options
+	// DaemonServer is one long-lived scheduler service: an epoch pipeline
+	// driven against wall-clock time plus the HTTP flow-submission API.
+	DaemonServer = daemon.Server
+)
+
+// NewPipeline builds the stepwise epoch engine over g.
+func NewPipeline(g *Network, cfg PipelineConfig) (*Pipeline, error) { return engine.New(g, cfg) }
+
+// NewDaemon builds a scheduler daemon over opt.Fabric; drive it with
+// (*DaemonServer).Run on a listener.
+func NewDaemon(opt DaemonOptions) (*DaemonServer, error) { return daemon.New(opt) }
