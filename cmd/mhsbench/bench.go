@@ -12,8 +12,10 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/metrics"
 	"strings"
 	"time"
+	"unsafe"
 
 	"octopus/internal/algo"
 	"octopus/internal/core"
@@ -40,10 +42,17 @@ type benchResult struct {
 	NsPerOp        int64   `json:"ns_per_op"`
 	AllocsPerOp    uint64  `json:"allocs_per_op"`
 	BytesPerOp     uint64  `json:"bytes_per_op"`
+	HeapPeakBytes  uint64  `json:"heap_peak_bytes,omitempty"`
 	PsiPerOp       int64   `json:"psi_per_op"`
 	DeliveredPerOp int     `json:"delivered_per_op"`
 	BaselineNs     int64   `json:"baseline_ns_per_op,omitempty"`
 	Speedup        float64 `json:"speedup,omitempty"`
+
+	// Pod-mode annotations (-bench-pods): the fabric's pod count, the
+	// spec's planner parallelism, and the instance's flow count.
+	Pods  int `json:"pods,omitempty"`
+	Par   int `json:"par,omitempty"`
+	Flows int `json:"flows,omitempty"`
 
 	// Work counters from one extra, untimed, instrumented run of the same
 	// instance (the timed reps stay uninstrumented so ns_per_op remains
@@ -64,7 +73,20 @@ type benchFile struct {
 	Schema  string        `json:"schema"`
 	Scale   string        `json:"scale"`
 	Seed    int64         `json:"seed"`
+	PodLoad *podLoadStats `json:"pod_load,omitempty"`
 	Results []benchResult `json:"results"`
+}
+
+// podLoadStats compares the columnar flow store against the pointer-rich
+// per-flow representation for the pod-mode instance: resident heap bytes
+// holding the same flows each way, counted from the realized layouts (the
+// store's column capacities vs per-flow structs, route headers, and node
+// ints), so the comparison is deterministic across runs.
+type podLoadStats struct {
+	Flows        int    `json:"flows"`
+	Packets      int64  `json:"packets"`
+	StoreBytes   uint64 `json:"store_bytes"`
+	PointerBytes uint64 `json:"pointer_bytes"`
 }
 
 func matcherName(m core.Matcher) string {
@@ -81,35 +103,60 @@ func matcherName(m core.Matcher) string {
 	return "exact"
 }
 
-// runBench times full runs of the requested algorithms at each node count
-// and writes the JSON document to path ('-' for stdout). When baselinePath
-// names a previous -json output, matching entries gain baseline_ns_per_op
-// and speedup fields and a human-readable comparison goes to stderr.
-func runBench(sc experiment.Scale, algoList string, nodeList []int, reps int, path, baselinePath string) error {
+// benchPods configures the pod-structured bench mode: a graph.Pods fabric
+// with the matching skewed pod workload scaled to roughly targetFlows
+// flows, instead of the complete-fabric synthetic load.
+type benchPods struct {
+	pods        int
+	targetFlows int
+}
+
+// runBench times full runs of the requested algorithm specs at each node
+// count and writes the JSON document to path ('-' for stdout). When
+// baselinePath names a previous -json output, matching entries gain
+// baseline_ns_per_op and speedup fields and a human-readable comparison
+// goes to stderr.
+func runBench(sc experiment.Scale, algoList string, nodeList []int, reps int, path, baselinePath string, pods benchPods) error {
 	if reps < 1 {
 		reps = 1
 	}
 	if len(nodeList) == 0 {
 		nodeList = []int{sc.Nodes}
 	}
-	var names []string
-	for _, s := range strings.Split(algoList, ",") {
-		names = append(names, strings.TrimSpace(s))
-	}
+	specs := splitSpecs(algoList)
 	doc := benchFile{Schema: benchSchema, Scale: sc.Name, Seed: sc.Seed}
-	for _, name := range names {
-		a, ok := algo.Lookup(name)
-		if !ok {
-			return fmt.Errorf("unknown algorithm %q (see -fig table for the roster)", name)
+	base := algo.Params{Window: sc.Window, Delta: sc.Delta, Matcher: sc.Matcher, Seed: sc.Seed}
+	for _, n := range nodeList {
+		g, load, stats, err := benchInstance(n, sc, pods)
+		if err != nil {
+			return fmt.Errorf("n=%d: %v", n, err)
 		}
-		for _, n := range nodeList {
-			r, err := benchOne(a, n, sc, reps)
+		if stats != nil {
+			doc.PodLoad = stats // keep the largest size's comparison
+			fmt.Fprintf(os.Stderr, "load  n=%-7d %d flows, %d packets: store %.1f MiB, pointer structs %.1f MiB (%.2fx)\n",
+				n, stats.Flows, stats.Packets,
+				float64(stats.StoreBytes)/(1<<20), float64(stats.PointerBytes)/(1<<20),
+				float64(stats.PointerBytes)/float64(stats.StoreBytes))
+		}
+		for _, spec := range specs {
+			a, p, err := parseBenchSpec(spec, base)
 			if err != nil {
-				return fmt.Errorf("%s n=%d: %v", name, n, err)
+				return err
+			}
+			r, err := benchOne(a, g, load, p, reps)
+			if err != nil {
+				return fmt.Errorf("%s n=%d: %v", spec, n, err)
+			}
+			r.Algo = spec
+			r.Pods = pods.pods
+			r.Par = p.Parallelism
+			if pods.pods > 0 {
+				r.Flows = len(load.Flows)
 			}
 			doc.Results = append(doc.Results, r)
-			fmt.Fprintf(os.Stderr, "bench %-16s n=%-4d %10.3fms/op  %8d allocs/op  psi=%d\n",
-				name, n, float64(r.NsPerOp)/1e6, r.AllocsPerOp, r.PsiPerOp)
+			fmt.Fprintf(os.Stderr, "bench %-32s n=%-7d %10.3fms/op  %8d allocs/op  heap-peak %7.1f MiB  psi=%d\n",
+				spec, n, float64(r.NsPerOp)/1e6, r.AllocsPerOp,
+				float64(r.HeapPeakBytes)/(1<<20), r.PsiPerOp)
 		}
 	}
 	if baselinePath != "" {
@@ -129,28 +176,142 @@ func runBench(sc experiment.Scale, algoList string, nodeList []int, reps int, pa
 	return os.WriteFile(path, out, 0o644)
 }
 
-// benchOne runs one algorithm at one size reps times on the same instance
-// and keeps the fastest rep. The load is regenerated per size from the
-// scale seed, so two mhsbench builds measure identical work.
-func benchOne(a algo.Algorithm, n int, sc experiment.Scale, reps int) (benchResult, error) {
-	g := graph.Complete(n)
-	rng := rand.New(rand.NewSource(sc.Seed))
-	load, err := traffic.Synthetic(g, traffic.DefaultSyntheticParams(n, sc.Window), rng)
-	if err != nil {
-		return benchResult{}, err
+// splitSpecs splits the -bench-algos list on commas while keeping the
+// commas inside a spec's option list: a fragment with a key=value shape
+// and no algorithm name of its own continues the previous spec
+// ("octopus-sharded:pods=4,par=2,octopus" is two specs).
+func splitSpecs(list string) []string {
+	var specs []string
+	for _, frag := range strings.Split(list, ",") {
+		frag = strings.TrimSpace(frag)
+		if frag == "" {
+			continue
+		}
+		if len(specs) > 0 && strings.Contains(frag, "=") && !strings.Contains(frag, ":") &&
+			strings.Contains(specs[len(specs)-1], ":") {
+			specs[len(specs)-1] += "," + frag
+			continue
+		}
+		specs = append(specs, frag)
 	}
-	p := algo.Params{Window: sc.Window, Delta: sc.Delta, Matcher: sc.Matcher, Seed: sc.Seed}
+	return specs
+}
+
+// parseBenchSpec resolves one -bench-algos entry with the full registry
+// spec grammar (name[:key=value,...]), so sharded runs can be requested as
+// octopus-sharded:pods=32,par=8.
+func parseBenchSpec(spec string, base algo.Params) (algo.Algorithm, algo.Params, error) {
+	a, p, err := algo.ParseSpec(spec, base)
+	if err != nil {
+		return nil, base, fmt.Errorf("bench spec: %w", err)
+	}
+	return a, p, nil
+}
+
+// benchInstance builds the (fabric, load) pair for one node count. The
+// load is regenerated per size from the scale seed, so two mhsbench builds
+// measure identical work. Pod mode also measures the columnar-store vs
+// pointer-struct representation cost of the same flows.
+func benchInstance(n int, sc experiment.Scale, pods benchPods) (*graph.Digraph, *traffic.Load, *podLoadStats, error) {
+	rng := rand.New(rand.NewSource(sc.Seed))
+	if pods.pods <= 0 {
+		g := graph.Complete(n)
+		load, err := traffic.Synthetic(g, traffic.DefaultSyntheticParams(n, sc.Window), rng)
+		return g, load, nil, err
+	}
+	podSize, err := graph.PodDims(n, pods.pods)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pp := traffic.DefaultPodParams(pods.pods, podSize, sc.Window)
+	if pods.targetFlows > 0 {
+		// Scale the per-pod flow counts to the requested total, keeping the
+		// 1:3 large:small mix, and keep every flow non-empty so the
+		// instance really has targetFlows flows.
+		perPod := max(4, pods.targetFlows/pods.pods)
+		pp.LargePerPod = perPod / 4
+		pp.SmallPerPod = perPod - perPod/4
+		pp.LargeTotal = max(pp.LargeTotal, pp.LargePerPod)
+		pp.SmallTotal = max(pp.SmallTotal, pp.SmallPerPod)
+	}
+	store, err := traffic.PodSynthetic(pp, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	stats := &podLoadStats{
+		Flows:      store.Len(),
+		Packets:    store.TotalPackets(),
+		StoreBytes: store.Bytes(),
+	}
+	// The pointer-struct baseline: the same flows held as one allocation
+	// per flow plus one per route's node slice — the pre-columnar
+	// representation. Counted from slice-header arithmetic rather than
+	// measured with ReadMemStats deltas, which are swamped by unrelated
+	// frees (sync.Pool arenas dying mid-measurement) on a busy runtime.
+	var flowZero traffic.Flow
+	var routeZero traffic.Route
+	stats.PointerBytes = uint64(unsafe.Sizeof(flowZero))*uint64(store.Len()) +
+		uint64(unsafe.Sizeof(routeZero))*uint64(store.NumRoutes()) +
+		uint64(unsafe.Sizeof(int(0)))*uint64(store.NumRouteNodes())
+	return pp.Fabric(), store.Materialize(nil), stats, nil
+}
+
+// heapSampler polls the runtime's live heap-object bytes while a run is in
+// flight, recording the peak. runtime/metrics reads are cheap (no
+// stop-the-world), so sampling does not distort ns_per_op.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+const heapMetric = "/memory/classes/heap/objects:bytes"
+
+func startHeapSampler() *heapSampler {
+	hs := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(hs.done)
+		sample := []metrics.Sample{{Name: heapMetric}}
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			metrics.Read(sample)
+			if v := sample[0].Value.Uint64(); v > hs.peak {
+				hs.peak = v
+			}
+			select {
+			case <-hs.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return hs
+}
+
+// Stop ends sampling and returns the observed peak.
+func (hs *heapSampler) Stop() uint64 {
+	close(hs.stop)
+	<-hs.done
+	return hs.peak
+}
+
+// benchOne runs one algorithm on one instance reps times and keeps the
+// fastest rep (with the heap peak observed during that rep).
+func benchOne(a algo.Algorithm, g *graph.Digraph, load *traffic.Load, p algo.Params, reps int) (benchResult, error) {
 	res := benchResult{
-		Algo: a.Name(), Nodes: n, Window: sc.Window, Delta: sc.Delta,
-		Matcher: matcherName(sc.Matcher), Reps: reps,
+		Algo: a.Name(), Nodes: g.N(), Window: p.Window, Delta: p.Delta,
+		Matcher: matcherName(p.Matcher), Reps: reps,
 	}
 	var m0, m1 runtime.MemStats
 	for rep := 0; rep < reps; rep++ {
 		runtime.GC()
 		runtime.ReadMemStats(&m0)
+		hs := startHeapSampler()
 		start := time.Now()
 		out, err := a.Run(g, load, p)
 		elapsed := time.Since(start)
+		peak := hs.Stop()
 		runtime.ReadMemStats(&m1)
 		if err != nil {
 			return benchResult{}, err
@@ -159,11 +320,17 @@ func benchOne(a algo.Algorithm, n int, sc experiment.Scale, reps int) (benchResu
 			res.NsPerOp = elapsed.Nanoseconds()
 			res.AllocsPerOp = m1.Mallocs - m0.Mallocs
 			res.BytesPerOp = m1.TotalAlloc - m0.TotalAlloc
+			res.HeapPeakBytes = peak
 		}
 		res.PsiPerOp = out.Psi
 		res.DeliveredPerOp = out.Delivered
 	}
 	// One extra untimed rep with instrumentation to report work counters.
+	// Skipped for very large instances, where doubling the wall time buys
+	// counters nobody reads at that scale (the fields are omitempty).
+	if len(load.Flows) > 200_000 {
+		return res, nil
+	}
 	reg := obs.NewRegistry()
 	p.Obs = &obs.Observer{Metrics: reg}
 	if _, err := a.Run(g, load, p); err != nil {

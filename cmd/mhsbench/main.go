@@ -45,9 +45,11 @@ func main() {
 		timeNodes = flag.String("time-nodes", "", "override Fig10 network-size sweep (comma-separated)")
 
 		jsonOut    = flag.String("json", "", "benchmark mode: write timing/allocation JSON to this file ('-' for stdout) instead of running figures")
-		benchAlgos = flag.String("bench-algos", "octopus,octopus-g", "algorithms to time in -json mode (comma-separated registry names)")
+		benchAlgos = flag.String("bench-algos", "octopus,octopus-g", "algorithm specs to time in -json mode (comma-separated, full name[:key=value,...] grammar)")
 		benchNodes = flag.String("bench-nodes", "", "node counts to time in -json mode (comma-separated; default: the scale's n)")
 		benchReps  = flag.Int("bench-reps", 3, "repetitions per point in -json mode (fastest rep is reported)")
+		benchPodsN = flag.Int("bench-pods", 0, "-json mode: bench on a pod fabric with this many pods and the matching pod workload")
+		benchFlows = flag.Int("bench-flows", 0, "-json mode with -bench-pods: scale the workload to about this many flows")
 		baseline   = flag.String("baseline", "", "previous -json output; annotates results with per-point speedups")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -133,7 +135,8 @@ func main() {
 		if *benchNodes != "" {
 			nodesList = parseInts(*benchNodes)
 		}
-		if err := runBench(sc, *benchAlgos, nodesList, *benchReps, *jsonOut, *baseline); err != nil {
+		pods := benchPods{pods: *benchPodsN, targetFlows: *benchFlows}
+		if err := runBench(sc, *benchAlgos, nodesList, *benchReps, *jsonOut, *baseline, pods); err != nil {
 			fatalf("bench: %v", err)
 		}
 		return

@@ -1,11 +1,18 @@
-// Command mhsgen generates multi-hop traffic loads as JSON, and prints
-// summary statistics of existing load files.
+// Command mhsgen generates multi-hop traffic loads, and prints summary
+// statistics of existing load files.
 //
 // Usage:
 //
 //	mhsgen -n 100 -window 10000 -out load.json
 //	mhsgen -trace fb-db -n 100 -window 10000 -out db.json
-//	mhsgen -stats load.json
+//	mhsgen -pods 32 -n 1024 -interpod 0.3 -format bin -out load.mhsb
+//	mhsgen -pods 4 -n 64 -format jsonl -out - | head
+//	mhsgen -stats load.mhsb
+//
+// The classic json format builds the whole load in memory; the jsonl and
+// bin flow-stream formats write one record at a time, so -pods loads far
+// larger than RAM stream straight to the output (use -out - for stdout).
+// -stats accepts all three encodings.
 package main
 
 import (
@@ -23,21 +30,49 @@ import (
 
 // genConfig collects the generation flags; buildLoad turns it into a load.
 type genConfig struct {
-	n         int
-	window    int
-	seed      int64
-	trace     string
-	routes    int
-	fixedHops int
-	skew      int
-	flows     int
-	matrix    io.Reader // non-nil: build from a CSV demand matrix
+	n          int
+	window     int
+	seed       int64
+	trace      string
+	routes     int
+	fixedHops  int
+	skew       int
+	flows      int
+	pods       int       // >0: pod-structured load over n nodes
+	interFrac  float64   // -pods mode: fraction of flows crossing pods
+	interLinks int       // -pods mode: links per ordered pod pair (0 = default)
+	matrix     io.Reader // non-nil: build from a CSV demand matrix
+}
+
+// podParams resolves the -pods flags into generator parameters.
+func podParams(cfg genConfig) (traffic.PodParams, error) {
+	podSize, err := graph.PodDims(cfg.n, cfg.pods)
+	if err != nil {
+		return traffic.PodParams{}, err
+	}
+	p := traffic.DefaultPodParams(cfg.pods, podSize, cfg.window)
+	p.InterFrac = cfg.interFrac
+	if cfg.interLinks > 0 {
+		p.InterLinks = min(cfg.interLinks, podSize)
+	}
+	return p, nil
 }
 
 // buildLoad generates the traffic load described by cfg and returns it with
 // the complete fabric it was generated over.
 func buildLoad(cfg genConfig) (*graph.Digraph, *traffic.Load, error) {
 	rng := rand.New(rand.NewSource(cfg.seed))
+	if cfg.pods > 0 {
+		p, err := podParams(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := traffic.PodSynthetic(p, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p.Fabric(), s.Materialize(nil), nil
+	}
 	if cfg.matrix != nil {
 		m, err := traffic.ReadDemandCSV(cfg.matrix)
 		if err != nil {
@@ -76,18 +111,22 @@ func buildLoad(cfg genConfig) (*graph.Digraph, *traffic.Load, error) {
 
 func main() {
 	var (
-		n         = flag.Int("n", 100, "number of network nodes")
-		window    = flag.Int("window", 10000, "window W (sets per-port traffic and trace scaling)")
-		seed      = flag.Int64("seed", 1, "RNG seed")
-		trace     = flag.String("trace", "", "trace-like load: fb-hadoop, fb-web, fb-db, ms (default: synthetic)")
-		routes    = flag.Int("routes", 1, "candidate routes per flow")
-		fixedHops = flag.Int("fixed-hops", 0, "force every route to this many hops")
-		skew      = flag.Int("skew", 30, "c_S as percent of per-port traffic (synthetic)")
-		flows     = flag.Int("flows", 16, "flows per port, 1:3 large:small ratio (synthetic)")
-		matrix    = flag.String("matrix", "", "build the load from a CSV demand matrix instead of generating")
-		out       = flag.String("out", "", "output JSON path (default stdout)")
-		stats     = flag.String("stats", "", "print statistics of an existing load JSON and exit")
-		version   = flag.Bool("version", false, "print the version and exit")
+		n          = flag.Int("n", 100, "number of network nodes")
+		window     = flag.Int("window", 10000, "window W (sets per-port traffic and trace scaling)")
+		seed       = flag.Int64("seed", 1, "RNG seed")
+		trace      = flag.String("trace", "", "trace-like load: fb-hadoop, fb-web, fb-db, ms (default: synthetic)")
+		routes     = flag.Int("routes", 1, "candidate routes per flow")
+		fixedHops  = flag.Int("fixed-hops", 0, "force every route to this many hops")
+		skew       = flag.Int("skew", 30, "c_S as percent of per-port traffic (synthetic)")
+		flows      = flag.Int("flows", 16, "flows per port, 1:3 large:small ratio (synthetic)")
+		pods       = flag.Int("pods", 0, "generate a pod-structured load over this many pods of n/pods nodes")
+		interpod   = flag.Float64("interpod", 0.3, "fraction of flows crossing pods (-pods mode)")
+		interlinks = flag.Int("interlinks", 0, "inter-pod links per ordered pod pair (0 = min(4, pod size))")
+		format     = flag.String("format", "json", "output encoding: json (classic document), jsonl or bin (flow streams)")
+		matrix     = flag.String("matrix", "", "build the load from a CSV demand matrix instead of generating")
+		out        = flag.String("out", "", "output path (default or \"-\": stdout)")
+		stats      = flag.String("stats", "", "print statistics of an existing load file (any encoding) and exit")
+		version    = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
 
@@ -103,6 +142,11 @@ func main() {
 	cfg := genConfig{
 		n: *n, window: *window, seed: *seed, trace: *trace,
 		routes: *routes, fixedHops: *fixedHops, skew: *skew, flows: *flows,
+		pods: *pods, interFrac: *interpod, interLinks: *interlinks,
+	}
+	sf, streamed, err := parseFormat(*format)
+	if err != nil {
+		fatalf("%v", err)
 	}
 	if *matrix != "" {
 		f, err := os.Open(*matrix)
@@ -112,28 +156,108 @@ func main() {
 		defer f.Close()
 		cfg.matrix = f
 	}
-	_, load, err := buildLoad(cfg)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	emit(load, *out)
-}
-
-func emit(load *traffic.Load, out string) {
-	if out == "" {
-		if err := load.WriteJSON(os.Stdout); err != nil {
+	if cfg.pods > 0 && streamed {
+		// The pod generator streams: flows go straight from the generator
+		// to the output without ever materializing the load in memory.
+		if err := emitPodStream(cfg, *out, sf); err != nil {
 			fatalf("%v", err)
 		}
 		return
 	}
-	if err := load.SaveFile(out); err != nil {
+	_, load, err := buildLoad(cfg)
+	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s: %d flows, %d packets\n", out, len(load.Flows), load.TotalPackets())
+	emit(load, *out, sf, streamed)
+}
+
+// parseFormat maps the -format flag onto an encoding; streamed reports
+// whether it is one of the flow-stream encodings.
+func parseFormat(name string) (traffic.StreamFormat, bool, error) {
+	switch name {
+	case "json":
+		return 0, false, nil
+	case "jsonl":
+		return traffic.FormatJSONL, true, nil
+	case "bin":
+		return traffic.FormatBinary, true, nil
+	}
+	return 0, false, fmt.Errorf("unknown format %q (want json, jsonl, or bin)", name)
+}
+
+// openOut resolves the -out flag; "" and "-" select stdout.
+func openOut(out string) (io.WriteCloser, bool, error) {
+	if out == "" || out == "-" {
+		return os.Stdout, true, nil
+	}
+	f, err := os.Create(out)
+	return f, false, err
+}
+
+// emitPodStream generates the pod load flow by flow directly into the
+// output stream.
+func emitPodStream(cfg genConfig, out string, sf traffic.StreamFormat) error {
+	p, err := podParams(cfg)
+	if err != nil {
+		return err
+	}
+	w, stdout, err := openOut(out)
+	if err != nil {
+		return err
+	}
+	sw := traffic.NewStreamWriter(w, sf)
+	flows, packets := 0, int64(0)
+	rng := rand.New(rand.NewSource(cfg.seed))
+	err = traffic.PodSyntheticEmit(p, rng, func(f traffic.Flow) error {
+		flows++
+		packets += int64(f.Size)
+		return sw.Write(&f)
+	})
+	if err == nil {
+		err = sw.Close()
+	}
+	if !stdout {
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if !stdout {
+		fmt.Fprintf(os.Stderr, "wrote %s: %d flows, %d packets\n", out, flows, packets)
+	}
+	return nil
+}
+
+func emit(load *traffic.Load, out string, sf traffic.StreamFormat, streamed bool) {
+	w, stdout, err := openOut(out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if streamed {
+		sw := traffic.NewStreamWriter(w, sf)
+		for i := range load.Flows {
+			if err := sw.Write(&load.Flows[i]); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		if err := sw.Close(); err != nil {
+			fatalf("%v", err)
+		}
+	} else if err := load.WriteJSON(w); err != nil {
+		fatalf("%v", err)
+	}
+	if !stdout {
+		if err := w.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %d flows, %d packets\n", out, len(load.Flows), load.TotalPackets())
+	}
 }
 
 func printStats(path string) {
-	loadPtr, err := traffic.LoadFile(path)
+	loadPtr, err := traffic.LoadAnyFile(path)
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -73,6 +74,61 @@ func TestGoldenSyntheticLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := verify.Schedule(g, back, &schedule.Schedule{}, verify.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenPodLoad pins the pod-structured generator: the streamed JSONL
+// output for a small pod load must match the checked-in golden file byte
+// for byte, decode back identically through the stream reader, and be
+// route-feasible on the pod fabric.
+func TestGoldenPodLoad(t *testing.T) {
+	cfg := genConfig{n: 12, window: 64, seed: 7, pods: 3, interFrac: 0.3}
+	p, err := podParams(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sw := traffic.NewStreamWriter(&buf, traffic.FormatJSONL)
+	rng := rand.New(rand.NewSource(cfg.seed))
+	if err := traffic.PodSyntheticEmit(p, rng, func(f traffic.Flow) error {
+		return sw.Write(&f)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "golden_pods.jsonl")
+	if *update {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test ./cmd/mhsgen -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Fatalf("pod generator drifted from %s (%d vs %d bytes); regenerate deliberately if the change is intended",
+			goldenPath, buf.Len(), len(golden))
+	}
+
+	// The stream decodes back to the same load buildLoad materializes.
+	store, err := traffic.ReadStore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, load, err := buildLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := store.Materialize(nil)
+	if len(back.Flows) != len(load.Flows) || back.TotalPackets() != load.TotalPackets() {
+		t.Fatalf("stream decodes to %d flows / %d packets, materialized load has %d / %d",
+			len(back.Flows), back.TotalPackets(), len(load.Flows), load.TotalPackets())
+	}
+	if err := back.Validate(g); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -219,11 +219,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		algoSpec   = fs.String("algo", "octopus", "algorithm spec name[:key=value,...]; names: "+strings.Join(algo.Names(), ", "))
 		seed       = fs.Int64("seed", 1, "RNG seed")
 		trace      = fs.String("trace", "", "trace-like load: fb-hadoop, fb-web, fb-db, ms (default: synthetic)")
-		loadPath   = fs.String("load", "", "read the traffic load from a JSON file instead of generating")
+		loadPath   = fs.String("load", "", "read the traffic load from a file (JSON document, JSONL or binary flow stream) instead of generating")
 		routes     = fs.Int("routes", 1, "candidate routes per flow (for octopus-plus / octopus-random)")
 		fixedHops  = fs.Int("fixed-hops", 0, "force every route to this many hops")
 		ports      = fs.Int("ports", 1, "input/output ports per node")
 		deg        = fs.Int("deg", 0, "partial fabric with this out-degree per node (0 = complete)")
+		podsFabric = fs.Int("pods", 0, "pod-structured fabric with this many pods of n/pods nodes (pairs with octopus-sharded:pods=...)")
 		multihop   = fs.Bool("multihop", false, "allow packets to chain hops within a configuration")
 		hold       = fs.Int("hold", 0, "maxweight: slots to hold each matching (0 = 10·Δ)")
 		verbose    = fs.Bool("v", false, "print the configuration sequence")
@@ -292,9 +293,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	rng := rand.New(rand.NewSource(*seed))
 	params.Rng = rng
 	var g *graph.Digraph
-	if *deg > 0 {
+	switch {
+	case *podsFabric > 0:
+		if *deg > 0 {
+			return fmt.Errorf("-pods and -deg are mutually exclusive")
+		}
+		podSize, err := graph.PodDims(*n, *podsFabric)
+		if err != nil {
+			return err
+		}
+		g = graph.Pods(*podsFabric, podSize, min(4, podSize))
+	case *deg > 0:
 		g = graph.RandomPartial(*n, *deg, rng)
-	} else {
+	default:
 		g = graph.Complete(*n)
 	}
 
@@ -303,8 +314,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	load, err := makeLoad(g, *loadPath, *trace, *n, *window, *routes, *fixedHops, rng)
-	if err != nil {
+	var load *traffic.Load
+	if *podsFabric > 0 && *loadPath == "" && *trace == "" {
+		// Pod fabric with no explicit load: generate the matching
+		// pod-structured workload (skewed intra-pod mix, inter-pod flows
+		// over the gateway links).
+		store, perr := traffic.PodSynthetic(traffic.DefaultPodParams(*podsFabric, g.N() / *podsFabric, *window), rng)
+		if perr != nil {
+			return perr
+		}
+		load = store.Materialize(nil)
+	} else if load, err = makeLoad(g, *loadPath, *trace, *n, *window, *routes, *fixedHops, rng); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "fabric: %d nodes, %d links; load: %d flows, %d packets, max %d hops\n",
@@ -614,7 +634,7 @@ func runShowdown(stdout io.Writer, g *graph.Digraph, load *traffic.Load, faults 
 
 func makeLoad(g *graph.Digraph, path, trace string, n, window, routes, fixedHops int, rng *rand.Rand) (*traffic.Load, error) {
 	if path != "" {
-		load, err := traffic.LoadFile(path)
+		load, err := traffic.LoadAnyFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("load %s: %w", path, err)
 		}

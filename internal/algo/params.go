@@ -67,6 +67,12 @@ type Params struct {
 	CritFrac   float64
 	Stretch    float64
 
+	// Pods partitions the fabric's contiguous node blocks into this many
+	// pods for octopus-sharded: pod-local flows are planned per pod in
+	// parallel, inter-pod flows by the reconciliation pass. 0 or 1 selects
+	// the unsharded identity (bit-identical to plain octopus).
+	Pods int
+
 	// KeepTrace makes core planners record every planned movement so the
 	// plan can be audited by core.Result.VerifyPlan (used by the
 	// differential harness; costs memory).
@@ -147,8 +153,8 @@ func ParseSpec(spec string, base Params) (Algorithm, Params, error) {
 // specKeys names every key ParseSpec accepts, for error messages.
 var specKeys = []string{
 	"backtrack", "crit", "delta", "eps64", "hold", "hys64", "keeptrace",
-	"matcher", "multihop", "par", "ports", "rate", "red", "seed", "slots",
-	"stretch", "window",
+	"matcher", "multihop", "par", "pods", "ports", "rate", "red", "seed",
+	"slots", "stretch", "window",
 }
 
 // set applies one key=value option to the params.
@@ -186,6 +192,8 @@ func (p *Params) set(key, val string) error {
 		return parseInt(&p.Ports)
 	case "par":
 		return parseInt(&p.Parallelism)
+	case "pods":
+		return parseInt(&p.Pods)
 	case "eps64":
 		return parseInt(&p.Epsilon64)
 	case "hold":

@@ -14,6 +14,7 @@ func init() {
 	Register(octopusPlusAlgo())
 	Register(octopusRandomAlgo())
 	Register(octopusRedundantAlgo())
+	Register(octopusShardedAlgo())
 	Register(eclipseAlgo{})
 	Register(eclipseBasedAlgo())
 	Register(eclipsePPAlgo{})

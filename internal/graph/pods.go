@@ -1,0 +1,86 @@
+package graph
+
+import "fmt"
+
+// Pods returns a pod-structured datacenter fabric: pods blocks of podSize
+// nodes each, complete within a pod (every pod is its own crossbar), plus
+// interLinks directed circuit links between every ordered pod pair. Node v
+// belongs to pod v/podSize; pods are contiguous node ranges so pod
+// membership needs no lookup table (see PodOf). The k-th inter-pod link
+// from pod a to pod b leaves the gateway node PodGateway(a, b, k, podSize)
+// of pod a and enters PodGateway(b, a, k+1, podSize) of pod b, spreading
+// gateways across the pod instead of hot-spotting one node.
+//
+// The construction models leaf-spine datacenter fabrics where intra-pod
+// circuits are cheap and plentiful while pod-to-pod circuit capacity is a
+// scarce, contended resource — the regime the paper's §8 skewed
+// large/small traffic mix stresses.
+func Pods(pods, podSize, interLinks int) *Digraph {
+	if pods < 1 || podSize < 1 {
+		panic("graph: pods and podSize must be positive")
+	}
+	if interLinks > podSize {
+		interLinks = podSize
+	}
+	g := New(pods * podSize)
+	for p := 0; p < pods; p++ {
+		base := p * podSize
+		for i := 0; i < podSize; i++ {
+			for j := 0; j < podSize; j++ {
+				if i != j {
+					g.AddEdge(base+i, base+j)
+				}
+			}
+		}
+	}
+	for a := 0; a < pods; a++ {
+		for b := 0; b < pods; b++ {
+			if a == b {
+				continue
+			}
+			for k := 0; k < interLinks; k++ {
+				from := PodGateway(a, b, k, podSize)
+				to := PodGateway(b, a, k+1, podSize)
+				if from != to {
+					g.AddEdge(from, to)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// PodOf returns the pod index of node v under contiguous pods of podSize
+// nodes.
+func PodOf(v, podSize int) int {
+	if podSize < 1 {
+		panic("graph: non-positive podSize")
+	}
+	return v / podSize
+}
+
+// PodGateway returns the node of pod a serving as the k-th gateway toward
+// pod b: gateways rotate through the pod as (b+k) mod podSize so different
+// destination pods and different parallel links use different nodes.
+func PodGateway(a, b, k, podSize int) int {
+	if podSize < 1 {
+		panic("graph: non-positive podSize")
+	}
+	return a*podSize + (b+k)%podSize
+}
+
+// PodDims validates and normalizes a (pods, podSize) split of an n-node
+// fabric into contiguous equal pods: pods must divide n. It returns the
+// pod size.
+func PodDims(n, pods int) (int, error) {
+	if pods < 1 {
+		return 0, fmt.Errorf("graph: pod count %d must be positive", pods)
+	}
+	if pods > n {
+		return 0, fmt.Errorf("graph: %d pods over %d nodes", pods, n)
+	}
+	if n%pods != 0 {
+		return 0, fmt.Errorf("graph: %d nodes do not split into %d equal pods", n, pods)
+	}
+	return n / pods, nil
+}

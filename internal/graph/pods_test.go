@@ -1,0 +1,105 @@
+package graph
+
+import "testing"
+
+func TestPodsFabricStructure(t *testing.T) {
+	const pods, m, k = 4, 5, 2
+	g := Pods(pods, m, k)
+	if g.N() != pods*m {
+		t.Fatalf("N = %d, want %d", g.N(), pods*m)
+	}
+	// Complete within every pod.
+	for p := 0; p < pods; p++ {
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				if i == j {
+					continue
+				}
+				if !g.HasEdge(p*m+i, p*m+j) {
+					t.Fatalf("missing intra-pod edge %d->%d", p*m+i, p*m+j)
+				}
+			}
+		}
+	}
+	// Exactly k links per ordered pod pair, each between matching
+	// gateways.
+	for a := 0; a < pods; a++ {
+		for b := 0; b < pods; b++ {
+			if a == b {
+				continue
+			}
+			count := 0
+			for i := 0; i < m; i++ {
+				for _, j := range g.Out(a*m + i) {
+					if PodOf(j, m) == b {
+						count++
+					}
+				}
+			}
+			if count != k {
+				t.Fatalf("pods %d->%d have %d links, want %d", a, b, count, k)
+			}
+			for link := 0; link < k; link++ {
+				from := PodGateway(a, b, link, m)
+				to := PodGateway(b, a, link+1, m)
+				if !g.HasEdge(from, to) {
+					t.Fatalf("missing inter-pod link %d: %d->%d", link, from, to)
+				}
+			}
+		}
+	}
+}
+
+func TestPodsGatewaysSpread(t *testing.T) {
+	// With enough links the gateways must rotate through distinct nodes
+	// rather than hot-spotting one.
+	const m = 8
+	seen := map[int]bool{}
+	for k := 0; k < 4; k++ {
+		seen[PodGateway(0, 1, k, m)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("4 gateways landed on %d distinct nodes", len(seen))
+	}
+}
+
+func TestPodOf(t *testing.T) {
+	if PodOf(0, 4) != 0 || PodOf(3, 4) != 0 || PodOf(4, 4) != 1 || PodOf(11, 4) != 2 {
+		t.Fatal("PodOf misassigns contiguous pods")
+	}
+}
+
+func TestPodDims(t *testing.T) {
+	if m, err := PodDims(12, 3); err != nil || m != 4 {
+		t.Fatalf("PodDims(12,3) = %d, %v", m, err)
+	}
+	if _, err := PodDims(10, 3); err == nil {
+		t.Fatal("uneven split accepted")
+	}
+	if _, err := PodDims(4, 8); err == nil {
+		t.Fatal("more pods than nodes accepted")
+	}
+	if _, err := PodDims(4, 0); err == nil {
+		t.Fatal("zero pods accepted")
+	}
+}
+
+func TestPodsInterLinkClamp(t *testing.T) {
+	// interLinks beyond podSize clamps instead of wrapping into duplicate
+	// edges.
+	g := Pods(2, 2, 5)
+	for a := 0; a < 2; a++ {
+		b := 1 - a
+		count := 0
+		for i := 0; i < 2; i++ {
+			for _, j := range g.Out(a*2 + i) {
+				if PodOf(j, 2) == b {
+					count++
+				}
+			}
+		}
+		if count > 2 {
+			t.Fatalf("pod pair carries %d links with podSize 2", count)
+		}
+	}
+}

@@ -1,0 +1,433 @@
+package traffic
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Streaming trace formats: loads far larger than RAM are written one flow
+// record at a time by the generator and consumed incrementally by the
+// schedulers' ingest path, never holding the pointer-rich document form in
+// memory.
+//
+// Two encodings share one logical schema:
+//
+//   - JSONL: a header line {"format":"mhs-flows/v1"} followed by one JSON
+//     flow object per line (the same field names as the classic Load
+//     document). Greppable, diffable, compresses well.
+//   - Binary: the magic "MHSB1\n" followed by length-prefixed uvarint flow
+//     records — about 10x smaller and 10x faster to decode than JSONL.
+//
+// StreamReader auto-detects the encoding, and LoadAnyFile additionally
+// falls back to the classic whole-document JSON load format, so every
+// consumer (mhsim -load, mhsbench, mhsgen -stats) accepts all three
+// transparently.
+
+// StreamFormat selects a streaming trace encoding.
+type StreamFormat int
+
+const (
+	// FormatJSONL writes the header line and one JSON flow per line.
+	FormatJSONL StreamFormat = iota
+	// FormatBinary writes the compact uvarint encoding.
+	FormatBinary
+)
+
+// streamHeader is the first JSONL line identifying the stream format.
+type streamHeader struct {
+	Format string `json:"format"`
+}
+
+// jsonlFormatID identifies the JSONL flow-stream schema; binaryMagic the
+// binary one. Bump only on incompatible layout changes.
+const jsonlFormatID = "mhs-flows/v1"
+
+var binaryMagic = []byte("MHSB1\n")
+
+// Binary record framing: each flow record begins with recFlow; recEnd
+// terminates the stream so truncation is detectable.
+const (
+	recFlow = 0x01
+	recEnd  = 0x00
+)
+
+// Hard decode limits. Streams are hostile input (fuzzed); every count is
+// bounded before any allocation sized from it.
+const (
+	maxStreamRoutes = 1 << 16 // routes per flow
+	maxStreamNodes  = MaxRouteLen + 1
+)
+
+// StreamWriter emits a flow stream in the chosen format. Close (or Flush)
+// must be called to terminate the stream; the binary format writes an
+// explicit end record so consumers can tell truncation from completion.
+type StreamWriter struct {
+	w       *bufio.Writer
+	format  StreamFormat
+	wrote   bool
+	closed  bool
+	scratch []byte
+	err     error
+}
+
+// NewStreamWriter returns a writer emitting the stream header lazily on
+// the first Write (or on Close, for an empty stream).
+func NewStreamWriter(w io.Writer, format StreamFormat) *StreamWriter {
+	return &StreamWriter{w: bufio.NewWriterSize(w, 1<<16), format: format}
+}
+
+func (sw *StreamWriter) header() {
+	if sw.wrote || sw.err != nil {
+		return
+	}
+	sw.wrote = true
+	if sw.format == FormatBinary {
+		_, sw.err = sw.w.Write(binaryMagic)
+		return
+	}
+	h, _ := json.Marshal(streamHeader{Format: jsonlFormatID})
+	if _, sw.err = sw.w.Write(h); sw.err == nil {
+		sw.err = sw.w.WriteByte('\n')
+	}
+}
+
+// Write appends one flow record. Flows outside the stream schema (see
+// checkStreamFlow) are rejected without corrupting the stream.
+func (sw *StreamWriter) Write(f *Flow) error {
+	if sw.closed {
+		return errors.New("traffic: write to closed stream")
+	}
+	if err := checkStreamFlow(f); err != nil {
+		return err
+	}
+	sw.header()
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.format == FormatBinary {
+		sw.scratch = appendBinaryFlow(sw.scratch[:0], f)
+		_, sw.err = sw.w.Write(sw.scratch)
+		return sw.err
+	}
+	line, err := json.Marshal(f)
+	if err != nil {
+		sw.err = err
+		return err
+	}
+	if _, sw.err = sw.w.Write(line); sw.err == nil {
+		sw.err = sw.w.WriteByte('\n')
+	}
+	return sw.err
+}
+
+// Close terminates and flushes the stream. It is idempotent.
+func (sw *StreamWriter) Close() error {
+	if sw.closed {
+		return sw.err
+	}
+	sw.closed = true
+	sw.header()
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.format == FormatBinary {
+		if sw.err = sw.w.WriteByte(recEnd); sw.err != nil {
+			return sw.err
+		}
+	}
+	sw.err = sw.w.Flush()
+	return sw.err
+}
+
+// appendBinaryFlow encodes one flow record onto buf.
+func appendBinaryFlow(buf []byte, f *Flow) []byte {
+	buf = append(buf, recFlow)
+	buf = binary.AppendUvarint(buf, uint64(f.ID))
+	buf = binary.AppendUvarint(buf, uint64(f.Size))
+	buf = binary.AppendUvarint(buf, uint64(f.Src))
+	buf = binary.AppendUvarint(buf, uint64(f.Dst))
+	buf = binary.AppendUvarint(buf, uint64(f.WeightHops))
+	flags := uint64(0)
+	if f.Critical {
+		flags = 1
+	}
+	buf = binary.AppendUvarint(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(f.Redundant))
+	buf = binary.AppendUvarint(buf, uint64(len(f.Routes)))
+	for _, r := range f.Routes {
+		buf = binary.AppendUvarint(buf, uint64(len(r)))
+		for _, v := range r {
+			buf = binary.AppendUvarint(buf, uint64(v))
+		}
+	}
+	return buf
+}
+
+// StreamReader decodes a flow stream, auto-detecting the encoding from
+// the header.
+type StreamReader struct {
+	br     *bufio.Reader
+	binary bool
+	inited bool
+	done   bool
+}
+
+// NewStreamReader returns a reader over r. The format is sniffed on the
+// first Next call.
+func NewStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// ErrNotStream reports that the input does not begin with a recognized
+// stream header (it may be a classic whole-document JSON load).
+var ErrNotStream = errors.New("traffic: not a flow stream")
+
+// init sniffs the header.
+func (sr *StreamReader) init() error {
+	if sr.inited {
+		return nil
+	}
+	sr.inited = true
+	peek, err := sr.br.Peek(len(binaryMagic))
+	if err == nil && bytes.Equal(peek, binaryMagic) {
+		sr.br.Discard(len(binaryMagic))
+		sr.binary = true
+		return nil
+	}
+	line, err := sr.br.ReadBytes('\n')
+	if err != nil && len(line) == 0 {
+		return fmt.Errorf("%w: empty input", ErrNotStream)
+	}
+	var h streamHeader
+	if jerr := json.Unmarshal(line, &h); jerr != nil || h.Format != jsonlFormatID {
+		return fmt.Errorf("%w: unrecognized header", ErrNotStream)
+	}
+	return nil
+}
+
+// Next decodes the next flow record. It returns io.EOF after the last
+// flow; any other error means the stream is malformed or truncated. The
+// returned flow passes the same structural checks as ReadJSON.
+func (sr *StreamReader) Next() (Flow, error) {
+	if err := sr.init(); err != nil {
+		return Flow{}, err
+	}
+	if sr.done {
+		return Flow{}, io.EOF
+	}
+	var f Flow
+	var err error
+	if sr.binary {
+		f, err = sr.nextBinary()
+	} else {
+		f, err = sr.nextJSONL()
+	}
+	if err != nil {
+		sr.done = true
+		return Flow{}, err
+	}
+	if err := checkStreamFlow(&f); err != nil {
+		sr.done = true
+		return Flow{}, err
+	}
+	return f, nil
+}
+
+func (sr *StreamReader) nextJSONL() (Flow, error) {
+	for {
+		line, err := sr.br.ReadBytes('\n')
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			if err != nil {
+				return Flow{}, io.EOF
+			}
+			continue // blank line between records
+		}
+		if err != nil && !errors.Is(err, io.EOF) {
+			return Flow{}, err
+		}
+		var f Flow
+		dec := json.NewDecoder(bytes.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		if jerr := dec.Decode(&f); jerr != nil {
+			return Flow{}, fmt.Errorf("traffic: flow stream: %v", jerr)
+		}
+		var extra json.RawMessage
+		if dec.Decode(&extra) != io.EOF {
+			return Flow{}, errors.New("traffic: flow stream: trailing data on record line")
+		}
+		return f, nil
+	}
+}
+
+func (sr *StreamReader) nextBinary() (Flow, error) {
+	kind, err := sr.br.ReadByte()
+	if err != nil {
+		return Flow{}, errors.New("traffic: flow stream truncated (missing end record)")
+	}
+	switch kind {
+	case recEnd:
+		return Flow{}, io.EOF
+	case recFlow:
+	default:
+		return Flow{}, fmt.Errorf("traffic: flow stream: unknown record type 0x%02x", kind)
+	}
+	u := func(dst *int, max uint64, what string) error {
+		if err != nil {
+			return err
+		}
+		v, rerr := binary.ReadUvarint(sr.br)
+		if rerr != nil {
+			// Deliberately not io.EOF: running out of bytes mid-record is
+			// truncation, which must surface as corruption, not clean end.
+			err = fmt.Errorf("traffic: flow stream truncated reading %s", what)
+			return err
+		}
+		if v > max {
+			err = fmt.Errorf("traffic: flow stream: %s %d out of range", what, v)
+			return err
+		}
+		*dst = int(v)
+		return nil
+	}
+	var f Flow
+	var flags, nroutes int
+	if u(&f.ID, 1<<31-1, "id") != nil ||
+		u(&f.Size, 1<<31-1, "size") != nil ||
+		u(&f.Src, 1<<31-1, "src") != nil ||
+		u(&f.Dst, 1<<31-1, "dst") != nil ||
+		u(&f.WeightHops, MaxRouteLen, "weight_hops") != nil ||
+		u(&flags, 1, "flags") != nil ||
+		u(&f.Redundant, maxStreamRoutes, "redundant") != nil ||
+		u(&nroutes, maxStreamRoutes, "route count") != nil {
+		return Flow{}, err
+	}
+	f.Critical = flags == 1
+	f.Routes = make([]Route, 0, min(nroutes, 16))
+	for i := 0; i < nroutes; i++ {
+		var nn int
+		if u(&nn, maxStreamNodes, "route length") != nil {
+			return Flow{}, err
+		}
+		r := make(Route, nn)
+		for j := 0; j < nn; j++ {
+			if u(&r[j], 1<<31-1, "route node") != nil {
+				return Flow{}, err
+			}
+		}
+		f.Routes = append(f.Routes, r)
+	}
+	return f, nil
+}
+
+// checkStreamFlow applies the stream schema invariants to one record: the
+// ReadJSON structural checks plus the numeric ranges the binary encoding
+// can represent, so both encodings accept exactly the same set of flows
+// and every accepted flow re-encodes losslessly. Enforced on both decode
+// (Next) and encode (Write).
+func checkStreamFlow(f *Flow) error {
+	if f.ID < 0 || int64(f.ID) > math.MaxInt32 {
+		return fmt.Errorf("traffic: flow id %d out of stream range", f.ID)
+	}
+	if f.Size < 0 || int64(f.Size) > math.MaxInt32 {
+		return fmt.Errorf("traffic: flow %d size %d out of stream range", f.ID, f.Size)
+	}
+	if f.Src < 0 || f.Dst < 0 || int64(f.Src) > math.MaxInt32 || int64(f.Dst) > math.MaxInt32 {
+		return fmt.Errorf("traffic: flow %d endpoints %d->%d out of stream range", f.ID, f.Src, f.Dst)
+	}
+	if f.WeightHops < 0 || f.WeightHops > MaxRouteLen {
+		return fmt.Errorf("traffic: flow %d has invalid WeightHops %d", f.ID, f.WeightHops)
+	}
+	if len(f.Routes) == 0 {
+		return fmt.Errorf("traffic: flow %d has no routes", f.ID)
+	}
+	if len(f.Routes) > maxStreamRoutes {
+		return fmt.Errorf("traffic: flow %d has %d routes (max %d)", f.ID, len(f.Routes), maxStreamRoutes)
+	}
+	if f.Redundant < 0 || f.Redundant > len(f.Routes) {
+		return fmt.Errorf("traffic: flow %d claims %d redundant routes but has %d", f.ID, f.Redundant, len(f.Routes))
+	}
+	for _, rt := range f.Routes {
+		if len(rt) < 2 {
+			return fmt.Errorf("traffic: flow %d has a degenerate route", f.ID)
+		}
+		if len(rt) > maxStreamNodes {
+			return fmt.Errorf("traffic: flow %d route exceeds %d hops", f.ID, MaxRouteLen)
+		}
+		if rt.Src() != f.Src || rt.Dst() != f.Dst {
+			return fmt.Errorf("traffic: flow %d route %v does not connect %d->%d", f.ID, rt, f.Src, f.Dst)
+		}
+		for _, v := range rt {
+			if v < 0 || int64(v) > math.MaxInt32 {
+				return fmt.Errorf("traffic: flow %d route node %d out of stream range", f.ID, v)
+			}
+		}
+	}
+	return nil
+}
+
+// ReadStore consumes an entire flow stream into a columnar store.
+func ReadStore(r io.Reader) (*Store, error) {
+	sr := NewStreamReader(r)
+	s := NewStore(0, 0)
+	for {
+		f, err := sr.Next()
+		if errors.Is(err, io.EOF) {
+			return s, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Append(&f); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ReadAny decodes a traffic load from any supported encoding: a binary or
+// JSONL flow stream (via the columnar store, so the result shares arena
+// backing), or the classic whole-document JSON load.
+func ReadAny(r io.Reader) (*Load, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	peek, _ := br.Peek(len(binaryMagic))
+	if bytes.Equal(peek, binaryMagic) {
+		s, err := ReadStore(br)
+		if err != nil {
+			return nil, err
+		}
+		return s.Materialize(nil), nil
+	}
+	// A JSONL stream starts with the header object on its own line; the
+	// classic document form starts with {"flows": ...} spanning lines.
+	// Sniff a bounded prefix for the header marker.
+	const sniffLen = 256
+	prefix, _ := br.Peek(sniffLen)
+	if i := bytes.IndexByte(prefix, '\n'); i >= 0 {
+		var h streamHeader
+		if json.Unmarshal(prefix[:i], &h) == nil && h.Format == jsonlFormatID {
+			s, err := ReadStore(br)
+			if err != nil {
+				return nil, err
+			}
+			return s.Materialize(nil), nil
+		}
+	}
+	return ReadJSON(br)
+}
+
+// LoadAnyFile reads a load from a file in any supported encoding.
+func LoadAnyFile(path string) (*Load, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAny(f)
+}

@@ -1,0 +1,179 @@
+package traffic
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func writeStream(t *testing.T, format StreamFormat, flows []Flow) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf, format)
+	for i := range flows {
+		if err := sw.Write(&flows[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	want := storeFixtureLoad().Flows
+	for _, format := range []StreamFormat{FormatJSONL, FormatBinary} {
+		data := writeStream(t, format, want)
+		sr := NewStreamReader(bytes.NewReader(data))
+		var got []Flow
+		for {
+			f, err := sr.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("format %d: %v", format, err)
+			}
+			got = append(got, f)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("format %d: round-trip mismatch\ngot  %+v\nwant %+v", format, got, want)
+		}
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	for _, format := range []StreamFormat{FormatJSONL, FormatBinary} {
+		data := writeStream(t, format, nil)
+		s, err := ReadStore(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("format %d: %v", format, err)
+		}
+		if s.Len() != 0 {
+			t.Fatalf("format %d: empty stream decoded %d flows", format, s.Len())
+		}
+	}
+}
+
+func TestStreamBinaryTruncation(t *testing.T) {
+	data := writeStream(t, FormatBinary, storeFixtureLoad().Flows)
+	// Drop the end record: the reader must report truncation, not EOF.
+	if _, err := ReadStore(bytes.NewReader(data[:len(data)-1])); err == nil {
+		t.Fatal("truncated stream (missing end record) accepted")
+	}
+	// Cut mid-record.
+	if _, err := ReadStore(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("mid-record truncation accepted")
+	}
+}
+
+func TestStreamBinaryHostile(t *testing.T) {
+	cases := map[string][]byte{
+		"unknown record": append(append([]byte{}, binaryMagic...), 0x7f),
+		"huge route count": func() []byte {
+			b := append([]byte{}, binaryMagic...)
+			b = append(b, recFlow)
+			// id,size,src,dst,weightHops,flags,redundant small...
+			b = append(b, 0, 1, 0, 1, 0, 0, 0)
+			b = append(b, 0xff, 0xff, 0xff, 0xff, 0x7f) // nroutes huge
+			return b
+		}(),
+		"huge route length": func() []byte {
+			b := append([]byte{}, binaryMagic...)
+			b = append(b, recFlow)
+			b = append(b, 0, 1, 0, 1, 0, 0, 0, 1)
+			b = append(b, 0xff, 0xff, 0x7f) // route length huge
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := ReadStore(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestStreamJSONLRejects(t *testing.T) {
+	header := `{"format":"mhs-flows/v1"}` + "\n"
+	cases := map[string]string{
+		"unknown field":  header + `{"id":0,"size":1,"src":0,"dst":1,"routes":[[0,1]],"bogus":3}` + "\n",
+		"no routes":      header + `{"id":0,"size":1,"src":0,"dst":1}` + "\n",
+		"degenerate":     header + `{"id":0,"size":1,"src":0,"dst":0,"routes":[[0]]}` + "\n",
+		"route mismatch": header + `{"id":0,"size":1,"src":0,"dst":1,"routes":[[0,2]]}` + "\n",
+		"trailing data":  header + `{"id":0,"size":1,"src":0,"dst":1,"routes":[[0,1]]} {"x":1}` + "\n",
+		"not json":       header + "garbage\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadStore(strings.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Blank lines between records are tolerated.
+	ok := header + "\n" + `{"id":0,"size":1,"src":0,"dst":1,"routes":[[0,1]]}` + "\n\n"
+	s, err := ReadStore(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("blank-line stream: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("blank-line stream: %d flows", s.Len())
+	}
+}
+
+func TestStreamHeaderSniff(t *testing.T) {
+	for _, bad := range []string{"", "{}\n", `{"format":"mhs-flows/v999"}` + "\n", "MHSB2\nxx"} {
+		_, err := NewStreamReader(strings.NewReader(bad)).Next()
+		if !errors.Is(err, ErrNotStream) {
+			t.Errorf("input %q: err = %v, want ErrNotStream", bad, err)
+		}
+	}
+}
+
+func TestReadAnyAllFormats(t *testing.T) {
+	want := storeFixtureLoad()
+
+	// Classic whole-document JSON.
+	doc, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"document": doc,
+		"jsonl":    writeStream(t, FormatJSONL, want.Flows),
+		"binary":   writeStream(t, FormatBinary, want.Flows),
+	} {
+		got, err := ReadAny(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: load mismatch", name)
+		}
+	}
+}
+
+func TestStreamWriterCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf, FormatBinary)
+	f := storeFixtureLoad().Flows[0]
+	if err := sw.Write(&f); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Fatal("second Close wrote more bytes")
+	}
+	if err := sw.Write(&f); err == nil {
+		t.Fatal("write after Close accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package diff
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopus/internal/algo"
+	"octopus/internal/verify"
+)
+
+// TestShardedPinnedToOctopus pins octopus-sharded:pods=1 to plain octopus:
+// the identity decomposition delegates to the exact octopus pipeline, so
+// the schedule, the claimed plan, and the measured metrics must all be
+// bit-for-bit identical — the fingerprints agree on every instance.
+func TestShardedPinnedToOctopus(t *testing.T) {
+	base, ok := algo.Lookup("octopus")
+	if !ok {
+		t.Fatal("octopus not registered")
+	}
+	sharded, ok := algo.Lookup("octopus-sharded")
+	if !ok {
+		t.Fatal("octopus-sharded not registered")
+	}
+	rng := rand.New(rand.NewSource(29))
+	checked := 0
+	for checked < 40 {
+		inst := verify.RandomInstance(rng)
+		if len(inst.Load.Flows) == 0 {
+			continue
+		}
+		checked++
+		p := algo.Params{Window: inst.Window, Delta: inst.Delta}
+		wantOut, err := base.Run(inst.G, inst.Load, p)
+		if err != nil {
+			t.Fatalf("instance %d: octopus: %v", checked, err)
+		}
+		sp := p
+		sp.Pods = 1
+		gotOut, err := sharded.Run(inst.G, inst.Load, sp)
+		if err != nil {
+			t.Fatalf("instance %d: octopus-sharded: %v", checked, err)
+		}
+		want, err := (&Outcome{Outcome: wantOut}).Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := (&Outcome{Outcome: gotOut}).Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != got {
+			t.Fatalf("instance %d: octopus-sharded:pods=1 diverges from octopus:\n%s\nvs\n%s",
+				checked, got, want)
+		}
+	}
+}
