@@ -18,10 +18,12 @@ import (
 	"unsafe"
 
 	"octopus/internal/algo"
+	"octopus/internal/buildinfo"
 	"octopus/internal/core"
 	"octopus/internal/experiment"
 	"octopus/internal/graph"
 	"octopus/internal/obs"
+	"octopus/internal/obs/flight"
 	"octopus/internal/traffic"
 )
 
@@ -54,6 +56,14 @@ type benchResult struct {
 	Par   int `json:"par,omitempty"`
 	Flows int `json:"flows,omitempty"`
 
+	// LatencyP50/P99 are flow-completion latency percentiles (in slots for
+	// offline replays) from the flight recorder attached to the untimed
+	// instrumented rep — the timed reps stay recorder-free, so ns_per_op is
+	// untouched. Instances past the counter cutoff get a flight-only rep at
+	// a thinned sample instead.
+	LatencyP50 int64 `json:"latency_p50,omitempty"`
+	LatencyP99 int64 `json:"latency_p99,omitempty"`
+
 	// Work counters from one extra, untimed, instrumented run of the same
 	// instance (the timed reps stay uninstrumented so ns_per_op remains
 	// comparable with pre-observability bench files). Zero-valued counters
@@ -73,8 +83,34 @@ type benchFile struct {
 	Schema  string        `json:"schema"`
 	Scale   string        `json:"scale"`
 	Seed    int64         `json:"seed"`
+	Version string        `json:"version,omitempty"`
+	Host    *benchHost    `json:"host,omitempty"`
 	PodLoad *podLoadStats `json:"pod_load,omitempty"`
 	Results []benchResult `json:"results"`
+}
+
+// benchHost stamps the machine a bench file was recorded on, so trajectory
+// comparisons across BENCH_*.json files can tell code changes from
+// hardware changes.
+type benchHost struct {
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	CPUs       int    `json:"cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Hostname   string `json:"hostname,omitempty"`
+}
+
+func hostInfo() *benchHost {
+	h := &benchHost{
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if name, err := os.Hostname(); err == nil {
+		h.Hostname = name
+	}
+	return h
 }
 
 // podLoadStats compares the columnar flow store against the pointer-rich
@@ -124,7 +160,13 @@ func runBench(sc experiment.Scale, algoList string, nodeList []int, reps int, pa
 		nodeList = []int{sc.Nodes}
 	}
 	specs := splitSpecs(algoList)
-	doc := benchFile{Schema: benchSchema, Scale: sc.Name, Seed: sc.Seed}
+	doc := benchFile{
+		Schema:  benchSchema,
+		Scale:   sc.Name,
+		Seed:    sc.Seed,
+		Version: buildinfo.Version(),
+		Host:    hostInfo(),
+	}
 	base := algo.Params{Window: sc.Window, Delta: sc.Delta, Matcher: sc.Matcher, Seed: sc.Seed}
 	for _, n := range nodeList {
 		g, load, stats, err := benchInstance(n, sc, pods)
@@ -325,17 +367,33 @@ func benchOne(a algo.Algorithm, g *graph.Digraph, load *traffic.Load, p algo.Par
 		res.PsiPerOp = out.Psi
 		res.DeliveredPerOp = out.Delivered
 	}
-	// One extra untimed rep with instrumentation to report work counters.
-	// Skipped for very large instances, where doubling the wall time buys
-	// counters nobody reads at that scale (the fields are omitempty).
+	// One extra untimed rep with instrumentation to report work counters
+	// and flow-completion latency percentiles. Past the cutoff the full
+	// counter rep would double wall time for counters nobody reads at that
+	// scale, so only the flight recorder runs, at a thinned deterministic
+	// sample — percentiles survive, ns_per_op stays untouched either way.
 	if len(load.Flows) > 200_000 {
+		rec := flight.New(flight.Config{Sample: 1024})
+		flight.AdmitLoad(rec, load, 0)
+		p.Obs = nil
+		p.Flight = rec
+		if _, err := a.Run(g, load, p); err != nil {
+			return benchResult{}, err
+		}
+		res.LatencyP50 = rec.CompletionQuantile(0.50)
+		res.LatencyP99 = rec.CompletionQuantile(0.99)
 		return res, nil
 	}
 	reg := obs.NewRegistry()
+	rec := flight.New(flight.Config{})
+	flight.AdmitLoad(rec, load, 0)
 	p.Obs = &obs.Observer{Metrics: reg}
+	p.Flight = rec
 	if _, err := a.Run(g, load, p); err != nil {
 		return benchResult{}, err
 	}
+	res.LatencyP50 = rec.CompletionQuantile(0.50)
+	res.LatencyP99 = rec.CompletionQuantile(0.99)
 	res.Iterations = reg.Value("octopus_core_iterations_total")
 	res.ExactCalls = reg.Value("octopus_match_exact_calls_total")
 	res.GreedyCalls = reg.Value("octopus_match_greedy_calls_total")

@@ -5,20 +5,24 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 )
 
-// TestPsiPinnedAgainstBaseline diffs the committed bench files: every
-// (algo, nodes, window, delta, matcher) point present in both
-// BENCH_pr6.json and BENCH_pr5.json must report bit-identical psi_per_op
-// and delivered_per_op. Timing fields are machine-dependent and free to
-// move; the schedule quality trajectory is not — the exact-matcher rework
-// (sparse dispatch, scan optimizations, parallel probes) is pinned to
-// reproduce the previous solver's equal-weight tie-breaks exactly, and
-// this test is the repo-level tripwire for any silent drift.
+// TestPsiPinnedAgainstBaseline diffs the two newest committed bench
+// files: every (algo, nodes, window, delta, matcher) point present in
+// both must report bit-identical psi_per_op and delivered_per_op.
+// Timing fields are machine-dependent and free to move; the schedule
+// quality trajectory is not — this test is the repo-level tripwire for
+// any silent drift, and it keeps working as new BENCH_prN.json
+// baselines land without per-PR edits here.
 func TestPsiPinnedAgainstBaseline(t *testing.T) {
-	prev := loadBenchFile(t, "BENCH_pr5.json")
-	cur := loadBenchFile(t, "BENCH_pr6.json")
+	prevName, curName := newestBenchFiles(t)
+	t.Logf("pinning %s against %s", curName, prevName)
+	prev := loadBenchFile(t, prevName)
+	cur := loadBenchFile(t, curName)
 	shared := 0
 	for key, p := range prev {
 		c, ok := cur[key]
@@ -34,9 +38,38 @@ func TestPsiPinnedAgainstBaseline(t *testing.T) {
 		}
 	}
 	if shared == 0 {
-		t.Fatal("no shared bench points between BENCH_pr5.json and BENCH_pr6.json; the pin is vacuous")
+		t.Fatalf("no shared bench points between %s and %s; the pin is vacuous", prevName, curName)
 	}
 	t.Logf("psi pinned on %d shared bench points", shared)
+}
+
+// newestBenchFiles returns the two highest-numbered BENCH_pr*.json
+// baselines at the repo root (previous, current).
+func newestBenchFiles(t *testing.T) (prev, cur string) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join("..", "..", "BENCH_pr*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type baseline struct {
+		name string
+		pr   int
+	}
+	var found []baseline
+	for _, path := range names {
+		name := filepath.Base(path)
+		digits := strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_pr"), ".json")
+		pr, err := strconv.Atoi(digits)
+		if err != nil {
+			continue
+		}
+		found = append(found, baseline{name: name, pr: pr})
+	}
+	if len(found) < 2 {
+		t.Fatalf("need at least two BENCH_pr*.json baselines at the repo root, found %d", len(found))
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].pr < found[j].pr })
+	return found[len(found)-2].name, found[len(found)-1].name
 }
 
 type benchPoint struct {

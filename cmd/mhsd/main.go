@@ -5,13 +5,15 @@
 //
 // API sketch (see README "Running as a service" for examples):
 //
-//	POST   /v1/flows       submit one flow or a JSON array of flows
-//	GET    /v1/flows       queue/backlog/totals summary
-//	DELETE /v1/flows/{id}  cancel a submitted flow
-//	GET    /v1/epochs      recent epoch records + run totals
-//	GET    /v1/fabric      current fabric
-//	POST   /v1/fabric      replace the fabric at the next epoch boundary
-//	GET    /metrics        Prometheus text metrics (plus /debug/vars, /debug/pprof)
+//	POST   /v1/flows             submit one flow or a JSON array of flows
+//	GET    /v1/flows             queue/backlog/totals summary
+//	DELETE /v1/flows/{id}        cancel a submitted flow
+//	GET    /v1/flows/{id}/events per-flow lifecycle journal (flight recorder)
+//	GET    /v1/epochs            recent epoch records + run totals
+//	GET    /v1/status            operational roll-up: epoch, ψ, SLOs, plan p50/p99, per-pod load
+//	GET    /v1/fabric            current fabric
+//	POST   /v1/fabric            replace the fabric at the next epoch boundary
+//	GET    /metrics              Prometheus text metrics (plus /debug/vars, /debug/pprof)
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"octopus/internal/graph"
 	"octopus/internal/httpd"
 	"octopus/internal/obs"
+	"octopus/internal/obs/flight"
 )
 
 func main() {
@@ -59,6 +62,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		audit        = fs.Bool("audit", true, "verify every epoch plan against the fabric before committing it")
 		fingerprints = fs.Bool("fingerprints", false, "attach schedule fingerprints to /v1/epochs records")
 		traceOut     = fs.String("trace-out", "", "write the JSONL decision trace to this file")
+		flightOn     = fs.Bool("flight", true, "record per-flow lifecycle events (GET /v1/flows/{id}/events, /v1/status SLOs)")
+		flightSample = fs.Int("flight-sample", 1, "flight recorder: track one flow in N (1 = every flow)")
+		flightCap    = fs.Int("flight-cap", 1<<16, "flight recorder: ring capacity in events (bounded memory)")
+		sloEpochs    = fs.Int("slo-epochs", 0, "flight recorder: completion SLO in epochs (0 = every completion on time)")
+		statusPods   = fs.Int("pods", 1, "pods for the /v1/status per-pod load roll-up (must divide -n)")
 		version      = fs.Bool("version", false, "print the version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -90,6 +98,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		tracer = obs.NewTracer(f)
 	}
 
+	// The registry is built here (rather than defaulted inside the daemon)
+	// so the flight recorder's SLO mirrors land on the same /metrics page.
+	reg := obs.NewRegistry()
+	var recorder *flight.Recorder
+	if *flightOn {
+		recorder = flight.New(flight.Config{
+			Sample:    *flightSample,
+			Cap:       *flightCap,
+			SLOEpochs: *sloEpochs,
+			Metrics:   reg,
+		})
+	}
+
 	s, err := daemon.New(daemon.Options{
 		Fabric:           fabric,
 		Core:             core.Options{Window: *window, Delta: *delta, Ports: *ports},
@@ -98,7 +119,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		DrainTimeout:     *drainTimeout,
 		Audit:            *audit,
 		FingerprintPlans: *fingerprints,
+		Registry:         reg,
 		Tracer:           tracer,
+		Flight:           recorder,
+		StatusPods:       *statusPods,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		},

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"octopus/internal/obs/flight"
+)
+
+// TestFlightOut pins the -flight-out surface: the journal decodes with the
+// versioned codec, covers the load's lifecycle, and recording leaves the
+// measured outcome bit-identical (same stdout as a recorder-free run).
+func TestFlightOut(t *testing.T) {
+	args := []string{"-n", "6", "-window", "300", "-algo", "octopus", "-seed", "7"}
+	var plain bytes.Buffer
+	if err := run(args, &plain, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	var traced bytes.Buffer
+	var errOut bytes.Buffer
+	if err := run(append(args, "-flight-out", path), &traced, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != traced.String() {
+		t.Fatalf("flight recording changed the outcome:\nplain:\n%straced:\n%s", plain.String(), traced.String())
+	}
+	if !strings.Contains(errOut.String(), "flight events") {
+		t.Fatalf("missing journal summary on stderr: %q", errOut.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	hdr, events, err := flight.DecodeLog(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Sample != 1 || len(events) == 0 {
+		t.Fatalf("header %+v with %d events", hdr, len(events))
+	}
+	kinds := map[flight.Kind]bool{}
+	for _, e := range events {
+		kinds[e.Kind] = true
+	}
+	for _, want := range []flight.Kind{flight.KindAdmitted, flight.KindHop, flight.KindDelivered} {
+		if !kinds[want] {
+			t.Fatalf("journal missing %s events (have %v)", want, kinds)
+		}
+	}
+}
+
+// TestFlightOutSampled checks the sample=N spec key thins the journal to
+// the deterministic flow subset.
+func TestFlightOutSampled(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	err := run([]string{"-n", "8", "-window", "300", "-algo", "octopus:sample=4", "-seed", "3",
+		"-flight-out", path}, &bytes.Buffer{}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	hdr, events, err := flight.DecodeLog(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Sample != 4 {
+		t.Fatalf("header sample %d, want 4", hdr.Sample)
+	}
+	ref := flight.New(flight.Config{Sample: 4})
+	for _, e := range events {
+		if !ref.Tracks(e.Flow) {
+			t.Fatalf("journal holds unsampled flow %d", e.Flow)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"octopus/internal/graph"
 	"octopus/internal/httpd"
 	"octopus/internal/obs"
+	"octopus/internal/obs/flight"
 	"octopus/internal/online"
 	"octopus/internal/schedule"
 	"octopus/internal/simulate"
@@ -238,6 +239,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		listAlgos  = fs.Bool("list-algos", false, "print the algorithm registry (name, kind, description; tab-separated) and exit")
 		metricsOut = fs.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file at exit")
 		traceOut   = fs.String("trace-out", "", "write the JSONL decision trace to this file")
+		flightOut  = fs.String("flight-out", "", "write the per-flow lifecycle journal (flight recorder) as JSONL to this file")
+		flightSmpl = fs.Int("flight-sample", 0, "flight recorder: track one flow in N (0 or 1 = every flow; the spec key sample=N overrides)")
 		serveAddr  = fs.String("serve", "", "serve /metrics, /debug/vars, and /debug/pprof on this address after the run, until interrupted")
 		version    = fs.Bool("version", false, "print the version and exit")
 	)
@@ -262,16 +265,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// Resolve the algorithm spec and reject unsupported flag combinations
 	// before any generation or planning work.
 	a, params, err := algo.ParseSpec(*algoSpec, algo.Params{
-		Window:   *window,
-		Delta:    *delta,
-		Ports:    *ports,
-		Seed:     *seed,
-		Hold:     *hold,
-		MultiHop: *multihop,
-		Obs:      sinks.observer,
+		Window:       *window,
+		Delta:        *delta,
+		Ports:        *ports,
+		Seed:         *seed,
+		Hold:         *hold,
+		MultiHop:     *multihop,
+		Obs:          sinks.observer,
+		FlightSample: *flightSmpl,
 	})
 	if err != nil {
 		return err
+	}
+	var flightRec *flight.Recorder
+	if *flightOut != "" {
+		// The recorder shares the metrics registry (when one exists) so the
+		// SLO mirrors land on the same -metrics-out snapshot. For offline
+		// runs the recorder's "epochs" are simulator slot numbers.
+		flightRec = flight.New(flight.Config{Sample: params.FlightSample, Metrics: sinks.reg})
+		params.Flight = flightRec
 	}
 	wantSchedule := *verbose || *gantt || *saveSched != ""
 	if wantSchedule && a.Kind() != algo.Offline && *replay == "" {
@@ -343,9 +355,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 				return err
 			}
 			emitScheduleTrace(sinks.tracer, sch)
+			flight.AdmitLoad(flightRec, load, 0)
 			sim, err := simulate.Run(g, load, sch, simulate.Options{
 				Window: *window, MultiHop: *multihop, Ports: *ports, Faults: faults,
-				Obs: sinks.observer,
+				Obs: sinks.observer, Flight: flightRec,
 			})
 			if err != nil {
 				return err
@@ -370,6 +383,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return runFaulty(stdout, g, runLoad, faults, opt, params, *maxEpochs)
 		}
 
+		flight.AdmitLoad(flightRec, load, 0)
 		out, err := a.Run(g, load, params)
 		if err != nil {
 			return err
@@ -423,6 +437,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if err := scenario(); err != nil {
 		return err
+	}
+	if flightRec != nil {
+		f, err := os.Create(*flightOut)
+		if err != nil {
+			return fmt.Errorf("flight journal: %w", err)
+		}
+		if err := flightRec.WriteLog(f); err != nil {
+			f.Close()
+			return fmt.Errorf("flight journal: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("flight journal: %w", err)
+		}
+		snap := flightRec.Stats()
+		fmt.Fprintf(stderr, "wrote %d flight events (%d retained, %d flows tracked) to %s\n",
+			snap.Events, snap.Retained, snap.TrackedFlows, *flightOut)
 	}
 	return sinks.finish(stderr, *metricsOut, *serveAddr)
 }
@@ -483,7 +513,7 @@ func arrivalsAt0(load *traffic.Load) []online.Arrival {
 // redundancy under the reactive repair.
 func runFaulty(stdout io.Writer, g *graph.Digraph, load *traffic.Load, faults *fault.Trace, opt core.Options, params algo.Params, maxEpochs int) error {
 	expanded, red := algo.ProvisionRedundant(g, load, params)
-	fopt := online.FaultOptions{Options: online.Options{Core: opt, MaxEpochs: maxEpochs}}
+	fopt := online.FaultOptions{Options: online.Options{Core: opt, MaxEpochs: maxEpochs, Flight: params.Flight}}
 	var res *online.FaultResult
 	var err error
 	if red.Empty() {

@@ -111,6 +111,7 @@ func (a *coreAlgo) Run(g *graph.Digraph, load *traffic.Load, p Params) (*Outcome
 		Ports:     opt.Ports,
 		Epsilon64: opt.Epsilon64,
 		Obs:       opt.Obs,
+		Flight:    p.Flight,
 	})
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 
 	"octopus/internal/core"
 	"octopus/internal/obs"
+	"octopus/internal/obs/flight"
 )
 
 // Params is the shared parameter spec every registered algorithm runs
@@ -87,6 +88,15 @@ type Params struct {
 	// algorithm runs (core planning, simulation replay, online epochs).
 	// nil disables instrumentation; results are identical either way.
 	Obs *obs.Observer
+
+	// Flight receives per-flow lifecycle events from the measurement
+	// replay (and, for online drivers, the epoch engine). nil disables
+	// recording; results are identical either way. FlightSample is the
+	// deterministic flow-ID sampling denominator used when the caller
+	// builds the recorder from a spec (`sample=N` or `sample=1/N`;
+	// 0 or 1 = exhaustive) — it does not alter an already-built recorder.
+	Flight       *flight.Recorder
+	FlightSample int
 }
 
 // rng returns the parameter RNG: Rng when set, otherwise a fresh stream
@@ -153,8 +163,8 @@ func ParseSpec(spec string, base Params) (Algorithm, Params, error) {
 // specKeys names every key ParseSpec accepts, for error messages.
 var specKeys = []string{
 	"backtrack", "crit", "delta", "eps64", "hold", "hys64", "keeptrace",
-	"matcher", "multihop", "par", "pods", "ports", "rate", "red", "seed",
-	"slots", "stretch", "window",
+	"matcher", "multihop", "par", "pods", "ports", "rate", "red", "sample",
+	"seed", "slots", "stretch", "window",
 }
 
 // set applies one key=value option to the params.
@@ -239,6 +249,19 @@ func (p *Params) set(key, val string) error {
 			return err
 		}
 		p.Matcher = m
+		return nil
+	case "sample":
+		// Flight-recorder sampling: one tracked flow in N. Accept both
+		// "sample=64" and the spec-sheet form "sample=1/64".
+		s := val
+		if rest, ok := strings.CutPrefix(s, "1/"); ok {
+			s = rest
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			return fmt.Errorf("option %s=%q: want N or 1/N with N >= 0", key, val)
+		}
+		p.FlightSample = v
 		return nil
 	}
 	keys := append([]string(nil), specKeys...)

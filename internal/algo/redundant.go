@@ -126,6 +126,7 @@ func (a *redundantAlgo) Run(g *graph.Digraph, load *traffic.Load, p Params) (*Ou
 		Epsilon64:  opt.Epsilon64,
 		Redundancy: red,
 		Obs:        opt.Obs,
+		Flight:     p.Flight,
 	})
 	if err != nil {
 		return nil, err

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"octopus/internal/core"
 	"octopus/internal/graph"
+	"octopus/internal/obs"
 	"octopus/internal/schedule"
 	"octopus/internal/simulate"
 	"octopus/internal/traffic"
@@ -71,7 +73,7 @@ func (a *shardedAlgo) Run(g *graph.Digraph, load *traffic.Load, p Params) (*Outc
 	// route stays inside one pod; everything else reconciles globally.
 	shardIdx := make([][]int, pods)
 	var crossIdx []int
-	intraHops, crossHops := 0, 0
+	intraHops, crossHops, crossPackets := 0, 0, 0
 	for i := range load.Flows {
 		f := &load.Flows[i]
 		pod, local := flowPod(f, podSize)
@@ -81,6 +83,7 @@ func (a *shardedAlgo) Run(g *graph.Digraph, load *traffic.Load, p Params) (*Outc
 		} else {
 			crossIdx = append(crossIdx, i)
 			crossHops += f.Size * f.Routes[0].Hops()
+			crossPackets += f.Size
 		}
 	}
 
@@ -98,14 +101,45 @@ func (a *shardedAlgo) Run(g *graph.Digraph, load *traffic.Load, p Params) (*Outc
 	var merged schedule.Schedule
 	merged.Delta = p.Delta
 	planned := PlanInfo{}
+	var results []*core.Result
+	var planNs []int64
 	if localWindow > p.Delta {
 		shardOpt := opt
 		shardOpt.Window = localWindow
-		results, err := runShards(g, load, shardIdx, podSize, shardOpt, p.Parallelism)
+		results, planNs, err = runShards(g, load, shardIdx, podSize, shardOpt, p.Parallelism, opt.Obs.Enabled())
 		if err != nil {
 			return nil, err
 		}
 		mergeShards(&merged, results, localWindow, p.Delta, &planned)
+	}
+
+	// Per-pod observability: the workers only stamp wall time (and only when
+	// the observer is on); metrics and trace events are emitted here, after
+	// the barrier, in pod order, so the journal is deterministic at any par.
+	// Strictly read-only — the sharded plan is bit-identical with obs off.
+	if opt.Obs.Enabled() {
+		podPlan := opt.Obs.Histogram("octopus_sharded_pod_plan_nanos")
+		podPsi := opt.Obs.Histogram("octopus_sharded_pod_psi")
+		podsPlanned := opt.Obs.Counter("octopus_sharded_pods_planned_total")
+		tracer := opt.Obs.Tracer()
+		for pod, r := range results {
+			if r == nil {
+				continue
+			}
+			podsPlanned.Inc()
+			podPlan.Observe(planNs[pod])
+			podPsi.Observe(r.Psi)
+			tracer.Emit("sharded.pod",
+				obs.I("pod", int64(pod)),
+				obs.I("flows", int64(len(shardIdx[pod]))),
+				obs.I("psi", r.Psi),
+				obs.I("delivered", int64(r.Delivered)),
+				obs.I("configs", int64(len(r.Schedule.Configs))),
+				obs.I("plan_ns", planNs[pod]),
+			)
+		}
+		opt.Obs.Counter("octopus_sharded_cross_flows_total").Add(int64(len(crossIdx)))
+		opt.Obs.Counter("octopus_sharded_cross_packets_total").Add(int64(crossPackets))
 	}
 
 	// Reconciliation: schedule the inter-pod flows over the whole fabric
@@ -116,6 +150,10 @@ func (a *shardedAlgo) Run(g *graph.Digraph, load *traffic.Load, p Params) (*Outc
 			crossLoad := subsetLoad(load, crossIdx)
 			crossOpt := opt
 			crossOpt.Window = remaining
+			var crossStart time.Time
+			if opt.Obs.Enabled() {
+				crossStart = time.Now()
+			}
 			s, err := core.New(g, crossLoad, crossOpt)
 			if err != nil {
 				return nil, err
@@ -129,6 +167,17 @@ func (a *shardedAlgo) Run(g *graph.Digraph, load *traffic.Load, p Params) (*Outc
 			planned.Delivered += res.Delivered
 			planned.Hops += res.Hops
 			planned.Psi += res.Psi
+			if opt.Obs.Enabled() {
+				opt.Obs.Tracer().Emit("sharded.cross",
+					obs.I("flows", int64(len(crossIdx))),
+					obs.I("packets", int64(crossPackets)),
+					obs.I("window", int64(remaining)),
+					obs.I("psi", res.Psi),
+					obs.I("delivered", int64(res.Delivered)),
+					obs.I("configs", int64(len(res.Schedule.Configs))),
+					obs.I("plan_ns", int64(time.Since(crossStart))),
+				)
+			}
 		}
 	}
 
@@ -154,6 +203,7 @@ func (a *shardedAlgo) Run(g *graph.Digraph, load *traffic.Load, p Params) (*Outc
 		Ports:     opt.Ports,
 		Epsilon64: opt.Epsilon64,
 		Obs:       opt.Obs,
+		Flight:    p.Flight,
 	})
 	if err != nil {
 		return nil, err
@@ -206,17 +256,22 @@ func subsetLoad(load *traffic.Load, idx []int) *traffic.Load {
 // runShards plans every non-empty pod shard with its own Octopus core
 // instance (own matching arena, own queue summaries) over the pod-local
 // subfabric, fanned out across par workers. Results land in pod order, so
-// the outcome is identical at any parallelism.
-func runShards(g *graph.Digraph, load *traffic.Load, shardIdx [][]int, podSize int, opt core.Options, par int) ([]*core.Result, error) {
+// the outcome is identical at any parallelism. With timed set each pod's
+// wall-clock plan time lands in the returned planNs slice (pod-indexed);
+// untimed runs never call the clock, so the cold path stays syscall-free.
+func runShards(g *graph.Digraph, load *traffic.Load, shardIdx [][]int, podSize int, opt core.Options, par int, timed bool) ([]*core.Result, []int64, error) {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 	results := make([]*core.Result, len(shardIdx))
+	planNs := make([]int64, len(shardIdx))
 	errs := make([]error, len(shardIdx))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	// Per-shard planning must not itself fan out: the shard is the unit of
-	// parallelism here.
+	// parallelism here. The shard planners run with the observer detached —
+	// their interleaved emissions would be racy and order-unstable; the
+	// caller emits the per-pod summaries in pod order instead.
 	opt.Parallelism = 1
 	opt.Obs = nil
 	for w := 0; w < par; w++ {
@@ -224,6 +279,10 @@ func runShards(g *graph.Digraph, load *traffic.Load, shardIdx [][]int, podSize i
 		go func() {
 			defer wg.Done()
 			for pod := range jobs {
+				var start time.Time
+				if timed {
+					start = time.Now()
+				}
 				lo, hi := pod*podSize, (pod+1)*podSize
 				sub := g.Subgraph(func(e graph.Edge) bool {
 					return e.From >= lo && e.From < hi && e.To >= lo && e.To < hi
@@ -239,6 +298,9 @@ func runShards(g *graph.Digraph, load *traffic.Load, shardIdx [][]int, podSize i
 					continue
 				}
 				results[pod] = res
+				if timed {
+					planNs[pod] = int64(time.Since(start))
+				}
 			}
 		}()
 	}
@@ -251,10 +313,10 @@ func runShards(g *graph.Digraph, load *traffic.Load, shardIdx [][]int, podSize i
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return results, nil
+	return results, planNs, nil
 }
 
 // mergeShards zips the per-pod configuration sequences into one global

@@ -170,7 +170,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/flows", s.handleSubmit)
 	mux.HandleFunc("GET /v1/flows", s.handleFlows)
 	mux.HandleFunc("DELETE /v1/flows/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/flows/{id}/events", s.handleFlowEvents)
 	mux.HandleFunc("GET /v1/epochs", s.handleEpochs)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/fabric", s.handleFabric)
 	mux.HandleFunc("POST /v1/fabric", s.handleReload)
 	return mux
@@ -233,6 +235,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		ids = append(ids, f.ID)
+		s.recordPodLoad(f.Src, f.Size)
 	}
 	s.reg.Gauge("octopus_daemon_queued_packets").Set(int64(s.pipe.QueuedPackets()))
 	writeJSON(w, http.StatusAccepted, map[string]any{"accepted": ids, "at": at})
@@ -276,6 +279,81 @@ func (s *Server) handleEpochs(w http.ResponseWriter, r *http.Request) {
 		"totals":          totals,
 		"epochs":          recs,
 	})
+}
+
+// recordPodLoad folds one accepted submission into the /v1/status per-pod
+// load roll-up, by source pod. Sized at startup; sources beyond the last
+// pod (possible after a larger-fabric reload) fold into the last one.
+func (s *Server) recordPodLoad(src, size int) {
+	s.mu.Lock()
+	pod := src / s.podSize
+	if pod >= len(s.podLoad) {
+		pod = len(s.podLoad) - 1
+	}
+	s.podLoad[pod] += int64(size)
+	s.mu.Unlock()
+}
+
+// handleFlowEvents serves GET /v1/flows/{id}/events: the flight recorder's
+// retained lifecycle journal for one flow.
+func (s *Server) handleFlowEvents(w http.ResponseWriter, r *http.Request) {
+	rec := s.opt.Flight
+	if rec == nil {
+		writeError(w, http.StatusNotFound, errors.New("flight recorder disabled (start with -flight)"))
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid flow ID %q", r.PathValue("id")))
+		return
+	}
+	type eventJSON struct {
+		Seq   uint64 `json:"seq"`
+		Ev    string `json:"ev"`
+		Epoch int32  `json:"epoch"`
+		A     int64  `json:"a"`
+		B     int64  `json:"b"`
+		C     int64  `json:"c"`
+	}
+	evs := rec.Events(int64(id))
+	out := make([]eventJSON, len(evs))
+	for i, e := range evs {
+		out[i] = eventJSON{Seq: e.Seq, Ev: e.Kind.String(), Epoch: e.Epoch, A: e.A, B: e.B, C: e.C}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"flow":    id,
+		"tracked": rec.Tracks(int64(id)),
+		"sample":  rec.Sample(),
+		"events":  out,
+	})
+}
+
+// handleStatus serves GET /v1/status: the one-call operational roll-up —
+// epoch progress, totals (ψ, delivered), planning latency percentiles,
+// per-pod submitted load, and the flight recorder's SLO snapshot.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	totals, epochs, backlog := s.totals, s.epochs, s.backlog
+	podLoad := append([]int64(nil), s.podLoad...)
+	s.mu.Unlock()
+	plan := s.reg.Duration("octopus_daemon_plan_seconds")
+	st := map[string]any{
+		"epoch":            epochs,
+		"boundary":         s.boundary.Load(),
+		"overloaded":       s.overloaded.Load(),
+		"queued_packets":   s.pipe.QueuedPackets(),
+		"backlog_packets":  backlog,
+		"totals":           totals,
+		"plan_p50_seconds": plan.Quantile(0.50).Seconds(),
+		"plan_p99_seconds": plan.Quantile(0.99).Seconds(),
+		"plan_overruns":    s.reg.Counter("octopus_daemon_plan_overruns_total").Value(),
+		"pod_size":         s.podSize,
+		"pod_load":         podLoad,
+	}
+	if s.opt.Flight != nil {
+		st["flight"] = s.opt.Flight.Stats()
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleFabric(w http.ResponseWriter, r *http.Request) {

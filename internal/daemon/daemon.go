@@ -30,6 +30,7 @@ import (
 	"octopus/internal/graph"
 	"octopus/internal/httpd"
 	"octopus/internal/obs"
+	"octopus/internal/obs/flight"
 )
 
 const (
@@ -68,6 +69,16 @@ type Options struct {
 	Registry *obs.Registry
 	// Tracer, when set, receives the planner's JSONL decision trace.
 	Tracer *obs.Tracer
+	// Flight, when set, receives per-flow lifecycle events from the epoch
+	// engine and powers GET /v1/flows/{id}/events plus the /v1/status SLO
+	// roll-up. nil disables per-flow tracing; scheduling is bit-identical
+	// either way.
+	Flight *flight.Recorder
+	// StatusPods partitions the fabric's contiguous node blocks into this
+	// many pods for the /v1/status per-pod load roll-up only (cumulative
+	// submitted packets by source pod; no scheduling effect). Values that
+	// do not divide the fabric, 0, and 1 all report a single pod.
+	StatusPods int
 	// Logf, when set, receives one line per notable lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -92,6 +103,9 @@ type Server struct {
 	totals  engine.Totals
 	epochs  int
 	backlog int
+
+	podSize int
+	podLoad []int64 // cumulative submitted packets per source pod (under mu)
 }
 
 type reloadReq struct {
@@ -158,9 +172,14 @@ func New(opt Options) (*Server, error) {
 		Repair:   true,
 		Reactive: true,
 		Audit:    opt.Audit,
+		Flight:   opt.Flight,
 	})
 	if err != nil {
 		return nil, err
+	}
+	pods := opt.StatusPods
+	if pods < 1 || opt.Fabric.N()%pods != 0 {
+		pods = 1
 	}
 	s := &Server{
 		opt:      opt,
@@ -168,6 +187,8 @@ func New(opt Options) (*Server, error) {
 		reg:      opt.Registry,
 		reloadCh: make(chan reloadReq),
 		done:     make(chan struct{}),
+		podSize:  opt.Fabric.N() / pods,
+		podLoad:  make([]int64, pods),
 	}
 	s.fab.Store(opt.Fabric)
 	// Touch the daemon metrics so a scrape before the first overrun or
@@ -175,6 +196,7 @@ func New(opt Options) (*Server, error) {
 	s.reg.Counter("octopus_daemon_plan_overruns_total").Add(0)
 	s.reg.Counter("octopus_daemon_fabric_reloads_total").Add(0)
 	s.reg.Gauge("octopus_daemon_queued_packets").Set(0)
+	s.reg.Duration("octopus_daemon_plan_seconds")
 	return s, nil
 }
 
@@ -298,6 +320,7 @@ func (s *Server) commit(plan *engine.Plan, planDur time.Duration, overrun bool) 
 	s.boundary.Store(int64(s.pipe.Boundary()))
 	s.reg.Gauge("octopus_daemon_queued_packets").Set(int64(s.pipe.QueuedPackets()))
 	s.reg.Histogram("octopus_daemon_plan_micros").Observe(planDur.Microseconds())
+	s.reg.Duration("octopus_daemon_plan_seconds").Observe(planDur)
 
 	rec := EpochRecord{
 		Epoch:      stat.Epoch,

@@ -14,6 +14,7 @@ import (
 	"octopus/internal/core"
 	"octopus/internal/engine"
 	"octopus/internal/graph"
+	"octopus/internal/obs/flight"
 	"octopus/internal/traffic"
 )
 
@@ -360,6 +361,138 @@ func TestDaemonAPI(t *testing.T) {
 			t.Fatalf("shrink under live flow: %d %s", status, body)
 		}
 	})
+}
+
+// TestDaemonFlightAndStatus drives a flight-recording daemon through a full
+// flow lifecycle and checks the two new surfaces: GET /v1/flows/{id}/events
+// must journal admitted → planned → delivered → completed in order, and
+// GET /v1/status must roll up the SLO snapshot, plan percentiles, and the
+// per-pod load.
+func TestDaemonFlightAndStatus(t *testing.T) {
+	rec := flight.New(flight.Config{SLOEpochs: 64})
+	_, base, shutdown := testServer(t, Options{
+		Fabric:        graph.Complete(4),
+		Core:          core.Options{Window: 50, Delta: 2},
+		EpochDuration: 2 * time.Millisecond,
+		Audit:         true,
+		Flight:        rec,
+		StatusPods:    2,
+	})
+	defer shutdown()
+
+	status, body := postJSON(t, base+"/v1/flows", []FlowRequest{
+		{ID: 11, Src: 0, Dst: 2, Size: 5},
+		{ID: 12, Src: 3, Dst: 1, Size: 7},
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", status, body)
+	}
+	var er epochsResp
+	deadline := time.Now().Add(20 * time.Second)
+	for er.Totals.Delivered < 12 {
+		if time.Now().After(deadline) {
+			t.Fatalf("flows never delivered: %+v", er.Totals)
+		}
+		time.Sleep(5 * time.Millisecond)
+		getJSON(t, base+"/v1/epochs", &er)
+	}
+
+	var ev struct {
+		Flow    int  `json:"flow"`
+		Tracked bool `json:"tracked"`
+		Sample  int  `json:"sample"`
+		Events  []struct {
+			Seq   uint64 `json:"seq"`
+			Ev    string `json:"ev"`
+			Epoch int32  `json:"epoch"`
+			A     int64  `json:"a"`
+		} `json:"events"`
+	}
+	getJSON(t, base+"/v1/flows/11/events", &ev)
+	if ev.Flow != 11 || !ev.Tracked || ev.Sample != 1 {
+		t.Fatalf("events envelope: %+v", ev)
+	}
+	var names []string
+	for _, e := range ev.Events {
+		names = append(names, e.Ev)
+	}
+	want := []string{"admitted", "planned", "delivered", "completed"}
+	got := map[string]int{}
+	for i, n := range names {
+		if _, seen := got[n]; !seen {
+			got[n] = i
+		}
+	}
+	last := -1
+	for _, n := range want {
+		i, ok := got[n]
+		if !ok {
+			t.Fatalf("lifecycle missing %q: %v", n, names)
+		}
+		if i < last {
+			t.Fatalf("lifecycle out of order at %q: %v", n, names)
+		}
+		last = i
+	}
+	if ev.Events[0].A != 5 { // admitted carries the flow size
+		t.Fatalf("admitted size: %+v", ev.Events[0])
+	}
+
+	var st struct {
+		Epoch          int            `json:"epoch"`
+		PlanP99Seconds float64        `json:"plan_p99_seconds"`
+		PodSize        int            `json:"pod_size"`
+		PodLoad        []int64        `json:"pod_load"`
+		Totals         engine.Totals  `json:"totals"`
+		Flight         map[string]any `json:"flight"`
+	}
+	getJSON(t, base+"/v1/status", &st)
+	if st.Epoch == 0 || st.Totals.Delivered != 12 {
+		t.Fatalf("status progress: %+v", st)
+	}
+	if st.PlanP99Seconds <= 0 {
+		t.Fatalf("plan p99 not observed: %+v", st)
+	}
+	if st.PodSize != 2 || len(st.PodLoad) != 2 || st.PodLoad[0] != 5 || st.PodLoad[1] != 7 {
+		t.Fatalf("pod load: %+v", st)
+	}
+	if st.Flight == nil {
+		t.Fatal("status missing the flight snapshot")
+	}
+	if frac, ok := st.Flight["on_time_fraction"].(float64); !ok || frac != 1 {
+		t.Fatalf("on-time fraction: %v", st.Flight)
+	}
+	if comp, ok := st.Flight["completed"].(float64); !ok || comp != 2 {
+		t.Fatalf("completed flows: %v", st.Flight)
+	}
+}
+
+// TestDaemonFlightDisabled pins the no-recorder behavior: per-flow events
+// 404 with a pointer to the flag, and /v1/status serves without a flight
+// section.
+func TestDaemonFlightDisabled(t *testing.T) {
+	_, base, shutdown := testServer(t, Options{
+		Fabric:        graph.Complete(4),
+		Core:          core.Options{Window: 50, Delta: 2},
+		EpochDuration: 2 * time.Millisecond,
+	})
+	defer shutdown()
+	resp, err := http.Get(base + "/v1/flows/1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("events without a recorder: %d", resp.StatusCode)
+	}
+	var st map[string]any
+	getJSON(t, base+"/v1/status", &st)
+	if _, ok := st["flight"]; ok {
+		t.Fatal("status has a flight section without a recorder")
+	}
+	if _, ok := st["pod_load"]; !ok {
+		t.Fatal("status missing pod_load")
+	}
 }
 
 func TestDaemonBackpressure(t *testing.T) {

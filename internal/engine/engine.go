@@ -29,6 +29,7 @@ import (
 	"octopus/internal/core"
 	"octopus/internal/fault"
 	"octopus/internal/graph"
+	"octopus/internal/obs/flight"
 	"octopus/internal/traffic"
 )
 
@@ -71,6 +72,15 @@ type Config struct {
 	// Audit verifies every epoch's plan against the fabric it was planned
 	// for, failing the run on any infeasibility.
 	Audit bool
+
+	// Flight receives per-flow lifecycle events (admitted, planned,
+	// repaired/requeued, delivered/completed, dropped, cancelled) for
+	// tracked flows, keyed by arrival flow IDs. Epoch fields are pipeline
+	// epochs: boundary events carry the epoch being planned, delivery and
+	// completion events carry epoch+1 (matching Completion()). nil
+	// disables recording; the recorder is strictly read-only — schedules
+	// and totals are bit-identical either way.
+	Flight *flight.Recorder
 }
 
 // Totals is the pipeline's cumulative packet accounting. Packets are

@@ -121,7 +121,7 @@ type Plan struct {
 	committed    bool
 }
 
-type admission struct{ id, size int }
+type admission struct{ id, size, src, dst int }
 
 // Result returns the epoch's scheduler result (nil for unscheduled plan
 // kinds). Unlike Stat.Plan it is available without Config.KeepPlans, so a
@@ -201,7 +201,7 @@ func (p *Pipeline) PlanNext() (*Plan, error) {
 		}
 		originView[nextID] = f.ID
 		srcView[f.ID] = f.Src
-		plan.admitted = append(plan.admitted, admission{id: f.ID, size: f.Size})
+		plan.admitted = append(plan.admitted, admission{id: f.ID, size: f.Size, src: f.Src, dst: f.Dst})
 		f.ID = nextID
 		nextID++
 		work.Flows = append(work.Flows, f)
@@ -217,7 +217,7 @@ func (p *Pipeline) PlanNext() (*Plan, error) {
 	}
 	plan.fabric = fabric
 	if p.cfg.Repair {
-		repairBacklog(fabric, work, originView, srcView, &plan.Stat, p.cfg.Red, p.cfg.Reactive)
+		repairBacklog(fabric, work, originView, srcView, &plan.Stat, p.cfg.Red, p.cfg.Reactive, p.cfg.Flight, p.epoch)
 		observeRepair(p.cfg.Core.Obs, &plan.Stat)
 	}
 
@@ -294,10 +294,15 @@ func (p *Pipeline) Commit(plan *Plan) (*FaultEpochStat, error) {
 	p.compactQueueLocked()
 	p.mu.Unlock()
 
+	rec := p.cfg.Flight
 	for _, a := range plan.admitted {
 		p.outstanding[a.id] = a.size
+		rec.Admit(int64(a.id), plan.Epoch, int64(a.size), int64(a.src), int64(a.dst))
 	}
 	for _, id := range plan.cancelledNow {
+		if rec.Tracks(int64(id)) {
+			rec.Cancelled(int64(id), plan.Epoch, int64(p.outstanding[id]))
+		}
 		delete(p.outstanding, id)
 	}
 	p.cancelledP += plan.Stat.Cancelled
@@ -315,18 +320,27 @@ func (p *Pipeline) Commit(plan *Plan) (*FaultEpochStat, error) {
 	}
 
 	sres := plan.sched
-	// Per-flow delivery accounting against the arrivals.
+	// Per-flow delivery accounting against the arrivals. Flight events use
+	// arrival IDs throughout; deliveries land at epoch+1, the boundary by
+	// which the epoch's transmissions have happened (matching Completion).
+	nConfigs := int64(len(sres.Schedule.Configs))
+	matcher := int64(p.cfg.Core.Matcher)
 	for i := range plan.work.Flows {
 		f := &plan.work.Flows[i]
+		orig := plan.originView[f.ID]
+		if rec.Tracks(int64(orig)) {
+			rec.Planned(int64(orig), plan.Epoch, nConfigs, matcher, int64(f.Size))
+		}
 		delivered := f.Size - plan.pending[f.ID]
 		if delivered == 0 {
 			continue
 		}
-		orig := plan.originView[f.ID]
 		p.outstanding[orig] -= delivered
 		p.deliveredBy[orig] += delivered
+		rec.Delivered(int64(orig), plan.Epoch+1, int64(delivered))
 		if p.outstanding[orig] == 0 {
 			p.completion[orig] = plan.Epoch + 1
+			rec.Completed(int64(orig), plan.Epoch+1)
 		}
 	}
 	newOrigin := make(map[int]int, len(plan.remap))

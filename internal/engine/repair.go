@@ -5,6 +5,7 @@ import (
 
 	"octopus/internal/core"
 	"octopus/internal/graph"
+	"octopus/internal/obs/flight"
 	"octopus/internal/traffic"
 	"octopus/internal/verify"
 )
@@ -16,7 +17,7 @@ import (
 // rerouted onto a BFS shortest surviving path from their current position
 // (reactive repair, when enabled); flows with no surviving path are
 // dropped. Degradation counts accumulate onto stat.
-func repairBacklog(fabric *graph.Digraph, backlog *traffic.Load, origin, arrivalSrc map[int]int, stat *FaultEpochStat, red *traffic.Redundancy, reactive bool) {
+func repairBacklog(fabric *graph.Digraph, backlog *traffic.Load, origin, arrivalSrc map[int]int, stat *FaultEpochStat, red *traffic.Redundancy, reactive bool, rec *flight.Recorder, epoch int) {
 	// Pass 1: which redundancy groups still have a copy with a live route.
 	// Computed before any repair, so reroutes never count as redundancy.
 	var groupLive map[int]bool
@@ -52,19 +53,23 @@ func repairBacklog(fabric *graph.Digraph, backlog *traffic.Load, origin, arrival
 			// Some candidates died; the survivors carry the flow.
 			f.Routes = alive
 		default:
+			orig := int64(origin[f.ID])
 			if p, ok := red.GroupOf(origin[f.ID]); ok && groupLive[p] {
 				// A sibling copy survives with a live route: the dead
 				// copy's packets are redundant, not lost.
 				stat.SurvivedRedundant += f.Size
+				rec.Dedup(orig, epoch, int64(f.Size))
 				continue
 			}
 			if !reactive {
 				stat.Dropped += f.Size
+				rec.Dropped(orig, epoch, int64(f.Size))
 				continue
 			}
 			r, ok := traffic.ShortestRoute(fabric, f.Src, f.Dst)
 			if !ok {
 				stat.Dropped += f.Size
+				rec.Dropped(orig, epoch, int64(f.Size))
 				continue
 			}
 			if f.WeightHops > 0 && r.Hops() > f.WeightHops {
@@ -74,8 +79,10 @@ func repairBacklog(fabric *graph.Digraph, backlog *traffic.Load, origin, arrival
 			}
 			f.Routes = []traffic.Route{r}
 			stat.Rerouted += f.Size
+			rec.Repaired(orig, epoch, r.Hops(), int64(f.Size))
 			if f.Src != arrivalSrc[origin[f.ID]] {
 				stat.Stranded += f.Size
+				rec.Requeued(orig, epoch, f.Src, int64(f.Size))
 			}
 		}
 		kept = append(kept, f)

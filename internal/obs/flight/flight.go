@@ -1,0 +1,599 @@
+// Package flight is the per-flow lifecycle journal — a "flight recorder"
+// for flows. Where internal/obs records planner internals (how many α
+// probes, how long a matching took), flight answers the operator question
+// "what happened to flow 8421?": each tracked flow accumulates a compact
+// event chain — admitted, planned into a configuration, per-hop advance,
+// stranded/requeued/repaired, replicated-copy dedup, delivered, dropped —
+// in a bounded ring so memory stays constant no matter how long the run.
+//
+// Storage is columnar (struct-of-arrays, the same layout as the
+// internal/traffic store): parallel slices of flow IDs, event kinds,
+// epochs, and three int64 arguments. A ring of 64k events costs ~1.8 MiB
+// and never grows.
+//
+// At a million flows recording every hop of every flow would dwarf the
+// workload, so the recorder samples deterministically by flow ID: a flow
+// is tracked iff mix64(id) % sample == 0, where mix64 is the splitmix64
+// finalizer. The decision depends only on the flow ID and the immutable
+// sample rate — never on timing, goroutine interleaving, or map order —
+// so two runs of the same workload track the same flows, and the check is
+// lock-free. sample <= 1 tracks everything (exhaustive mode for small
+// runs).
+//
+// Like every obs instrument, the nil *Recorder is a valid no-op, and
+// recording is strictly read-only with respect to the scheduler: enabling
+// the recorder must never change a schedule, a metric, or a tie-break.
+// That invariant is pinned by registry-wide fingerprint equivalence tests
+// (internal/verify/diff) with the recorder on and off.
+package flight
+
+import (
+	"sort"
+	"sync"
+
+	"octopus/internal/obs"
+)
+
+// Kind identifies one lifecycle event type.
+type Kind uint8
+
+const (
+	// KindAdmitted: flow entered the system. A=size (packets), B=src, C=dst.
+	KindAdmitted Kind = iota
+	// KindPlanned: flow was scheduled into an epoch's configuration chain.
+	// A=configurations in the schedule, B=matcher code, C=pending packets.
+	KindPlanned
+	// KindHop: packets advanced one hop. A=new position on the route,
+	// B=route length, C=packets moved.
+	KindHop
+	// KindStranded: packets stuck mid-route when service ended or a link
+	// failed. A=position, C=packets stranded.
+	KindStranded
+	// KindRequeued: stranded packets were requeued from their current
+	// position for a later epoch. A=position requeued from, C=packets.
+	KindRequeued
+	// KindRepaired: flow was rerouted onto a surviving path. A=new route
+	// length, C=packets rerouted.
+	KindRepaired
+	// KindDedup: duplicate packets from a redundant copy group were
+	// discounted after the primary delivered. C=duplicate packets.
+	KindDedup
+	// KindDelivered: packets reached the destination. A=packets this
+	// event, B=cumulative delivered.
+	KindDelivered
+	// KindCompleted: every packet of the flow has been delivered.
+	// A=completion latency in epochs since admission (-1 if the admission
+	// was not observed), B=SLO slack (target - latency, floored at 0),
+	// C=1 if within the SLO target.
+	KindCompleted
+	// KindDropped: flow abandoned (unreachable after faults). C=packets
+	// undelivered.
+	KindDropped
+	// KindCancelled: flow cancelled by the client. C=packets undelivered.
+	KindCancelled
+
+	numKinds = iota
+)
+
+var kindNames = [numKinds]string{
+	KindAdmitted:  "admitted",
+	KindPlanned:   "planned",
+	KindHop:       "hop",
+	KindStranded:  "stranded",
+	KindRequeued:  "requeued",
+	KindRepaired:  "repaired",
+	KindDedup:     "dedup",
+	KindDelivered: "delivered",
+	KindCompleted: "completed",
+	KindDropped:   "dropped",
+	KindCancelled: "cancelled",
+}
+
+// String returns the stable wire name of the kind ("admitted", "hop", ...).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one decoded journal entry. The meaning of A/B/C depends on
+// Kind; see the Kind constants.
+type Event struct {
+	Seq   uint64 `json:"seq"`
+	Flow  int64  `json:"flow"`
+	Kind  Kind   `json:"-"`
+	Epoch int32  `json:"epoch"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b"`
+	C     int64  `json:"c"`
+}
+
+// Config parameterizes a Recorder.
+type Config struct {
+	// Sample tracks one flow in Sample by deterministic flow-ID hash;
+	// values <= 1 track every flow (exhaustive mode).
+	Sample int
+	// Cap is the ring capacity in events (default 65536). Once full, new
+	// events overwrite the oldest.
+	Cap int
+	// SLOEpochs is the completion-latency target used for the on-time
+	// fraction and slack histogram. Flows have no per-flow deadlines yet
+	// (a roadmap item); the SLO is a single operator-set target. 0 means
+	// no target: every completion counts as on time with zero slack.
+	SLOEpochs int
+	// Metrics optionally mirrors the recorder's aggregates into a shared
+	// obs registry (octopus_flight_* metrics). Nil keeps them internal.
+	Metrics *obs.Registry
+}
+
+// DefaultCap is the ring capacity when Config.Cap is zero.
+const DefaultCap = 1 << 16
+
+// flowState is the per-tracked-flow aggregate behind the SLO metrics.
+// It exists only for sampled flows, so its size is bounded by the number
+// of live tracked flows, not total events.
+type flowState struct {
+	admitEpoch int32
+	admitted   bool
+	done       bool
+	size       int64
+	delivered  int64
+}
+
+// Recorder is the journal. All methods are safe for concurrent use; the
+// nil *Recorder is a no-op everywhere.
+type Recorder struct {
+	sample uint64 // immutable after New; read lock-free by Tracks
+
+	mu    sync.Mutex
+	seq   uint64 // total events ever recorded; ring index = seq % cap
+	flows []int64
+	kinds []uint8
+	epoch []int32
+	a     []int64
+	b     []int64
+	c     []int64
+
+	state map[int64]*flowState
+
+	sloEpochs  int64
+	completion obs.Histogram // epochs from admission to completion
+	slack      obs.Histogram // max(0, SLO - completion)
+	admitted   int64
+	completed  int64
+	onTime     int64
+
+	// Optional registry mirrors (nil-safe).
+	mAdmitted  *obs.Counter
+	mCompleted *obs.Counter
+	mOnTime    *obs.Counter
+	mEvents    *obs.Counter
+	mLatency   *obs.Histogram
+	mSlack     *obs.Histogram
+	mOnTimePct *obs.Gauge
+}
+
+// New builds a recorder. The zero Config means: track every flow, 64k
+// ring, no SLO target, no registry mirror.
+func New(cfg Config) *Recorder {
+	capN := cfg.Cap
+	if capN <= 0 {
+		capN = DefaultCap
+	}
+	sample := uint64(1)
+	if cfg.Sample > 1 {
+		sample = uint64(cfg.Sample)
+	}
+	r := &Recorder{
+		sample:    sample,
+		flows:     make([]int64, capN),
+		kinds:     make([]uint8, capN),
+		epoch:     make([]int32, capN),
+		a:         make([]int64, capN),
+		b:         make([]int64, capN),
+		c:         make([]int64, capN),
+		state:     make(map[int64]*flowState),
+		sloEpochs: int64(cfg.SLOEpochs),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		r.mAdmitted = reg.Counter("octopus_flight_admitted_total")
+		r.mCompleted = reg.Counter("octopus_flight_completed_total")
+		r.mOnTime = reg.Counter("octopus_flight_ontime_total")
+		r.mEvents = reg.Counter("octopus_flight_events_total")
+		r.mLatency = reg.Histogram("octopus_flight_completion_epochs")
+		r.mSlack = reg.Histogram("octopus_flight_slack_epochs")
+		r.mOnTimePct = reg.Gauge("octopus_flight_ontime_permille")
+	}
+	return r
+}
+
+// mix64 is the splitmix64 finalizer (Steele, Lea & Flood 2014): a cheap
+// bijective avalanche so consecutive flow IDs land in uncorrelated
+// sampling residues.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Tracks reports whether the recorder samples this flow ID. It is
+// lock-free and deterministic: same ID and sample rate → same answer in
+// every run. Nil recorders track nothing, so instrumented hot paths can
+// guard on Tracks alone.
+func (r *Recorder) Tracks(flow int64) bool {
+	if r == nil {
+		return false
+	}
+	if r.sample <= 1 {
+		return true
+	}
+	return mix64(uint64(flow))%r.sample == 0
+}
+
+// Sample returns the sampling denominator (1 = exhaustive, 0 for nil).
+func (r *Recorder) Sample() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.sample)
+}
+
+// record appends one event to the ring. Caller must have checked Tracks.
+func (r *Recorder) record(flow int64, kind Kind, epoch int, a, b, c int64) {
+	r.mu.Lock()
+	i := int(r.seq % uint64(len(r.flows)))
+	r.flows[i] = flow
+	r.kinds[i] = uint8(kind)
+	r.epoch[i] = int32(epoch)
+	r.a[i] = a
+	r.b[i] = b
+	r.c[i] = c
+	r.seq++
+	r.mu.Unlock()
+	r.mEvents.Inc()
+}
+
+// Admit records admission of a tracked flow and opens its SLO state.
+func (r *Recorder) Admit(flow int64, epoch int, size, src, dst int64) {
+	if !r.Tracks(flow) {
+		return
+	}
+	r.mu.Lock()
+	st := r.stateLocked(flow)
+	if !st.admitted {
+		st.admitted = true
+		st.admitEpoch = int32(epoch)
+		st.size = size
+		r.admitted++
+	}
+	r.recordLocked(flow, KindAdmitted, epoch, size, src, dst)
+	r.mu.Unlock()
+	r.mEvents.Inc()
+	r.mAdmitted.Inc()
+}
+
+// Planned records that the flow was scheduled into epoch's configuration
+// chain: configs in the schedule, the matcher code (see MatcherCode), and
+// the flow's pending packets entering the epoch.
+func (r *Recorder) Planned(flow int64, epoch int, configs, matcher, pending int64) {
+	if !r.Tracks(flow) {
+		return
+	}
+	r.record(flow, KindPlanned, epoch, configs, matcher, pending)
+}
+
+// Hop records a one-hop advance of count packets to route position pos.
+func (r *Recorder) Hop(flow int64, epoch, pos, routeLen int, count int64) {
+	if !r.Tracks(flow) {
+		return
+	}
+	r.record(flow, KindHop, epoch, int64(pos), int64(routeLen), count)
+}
+
+// Stranded records count packets stuck at route position pos.
+func (r *Recorder) Stranded(flow int64, epoch, pos int, count int64) {
+	if !r.Tracks(flow) {
+		return
+	}
+	r.record(flow, KindStranded, epoch, int64(pos), 0, count)
+}
+
+// Requeued records stranded packets re-entering the backlog from pos.
+func (r *Recorder) Requeued(flow int64, epoch, pos int, count int64) {
+	if !r.Tracks(flow) {
+		return
+	}
+	r.record(flow, KindRequeued, epoch, int64(pos), 0, count)
+}
+
+// Repaired records a reroute onto a surviving path of routeLen hops.
+func (r *Recorder) Repaired(flow int64, epoch, routeLen int, count int64) {
+	if !r.Tracks(flow) {
+		return
+	}
+	r.record(flow, KindRepaired, epoch, int64(routeLen), 0, count)
+}
+
+// Dedup records duplicate packets discounted from a redundant copy group.
+func (r *Recorder) Dedup(flow int64, epoch int, dups int64) {
+	if !r.Tracks(flow) {
+		return
+	}
+	r.record(flow, KindDedup, epoch, 0, 0, dups)
+}
+
+// Delivered records n packets arriving. When the cumulative count reaches
+// the admitted size the completion event and SLO aggregates fire too, so
+// drivers that lack an explicit completion signal (offline simulate) get
+// one for free. Drivers with an exact signal should call Completed.
+func (r *Recorder) Delivered(flow int64, epoch int, n int64) {
+	if !r.Tracks(flow) || n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	st := r.stateLocked(flow)
+	st.delivered += n
+	r.recordLocked(flow, KindDelivered, epoch, n, st.delivered, 0)
+	events := int64(1)
+	if st.admitted && !st.done && st.size > 0 && st.delivered >= st.size {
+		r.completeLocked(flow, st, epoch)
+		events++
+	}
+	r.mu.Unlock()
+	r.mEvents.Add(events)
+}
+
+// Completed records that every packet of the flow has been delivered.
+// Safe to call alongside Delivered-driven completion: only the first
+// completion per flow counts.
+func (r *Recorder) Completed(flow int64, epoch int) {
+	if !r.Tracks(flow) {
+		return
+	}
+	r.mu.Lock()
+	st := r.stateLocked(flow)
+	if st.done {
+		r.mu.Unlock()
+		return
+	}
+	r.completeLocked(flow, st, epoch)
+	r.mu.Unlock()
+	r.mEvents.Inc()
+}
+
+// completeLocked stamps the completion event and SLO aggregates.
+func (r *Recorder) completeLocked(flow int64, st *flowState, epoch int) {
+	st.done = true
+	r.completed++
+	latency := int64(-1)
+	if st.admitted {
+		latency = int64(epoch) - int64(st.admitEpoch)
+		if latency < 0 {
+			latency = 0
+		}
+	}
+	slack := int64(0)
+	onTime := int64(1)
+	if r.sloEpochs > 0 && latency >= 0 {
+		slack = r.sloEpochs - latency
+		if slack < 0 {
+			slack = 0
+			onTime = 0
+		}
+	}
+	if latency >= 0 {
+		r.completion.Observe(latency)
+		r.mLatency.Observe(latency)
+		r.slack.Observe(slack)
+		r.mSlack.Observe(slack)
+	}
+	r.onTime += onTime
+	if onTime == 1 {
+		r.mOnTime.Inc()
+	}
+	r.mCompleted.Inc()
+	if r.mOnTimePct != nil && r.completed > 0 {
+		r.mOnTimePct.Set(r.onTime * 1000 / r.completed)
+	}
+	r.recordLocked(flow, KindCompleted, epoch, latency, slack, onTime)
+}
+
+// Dropped records the flow abandoned with undelivered packets remaining.
+func (r *Recorder) Dropped(flow int64, epoch int, remaining int64) {
+	if !r.Tracks(flow) {
+		return
+	}
+	r.record(flow, KindDropped, epoch, 0, 0, remaining)
+}
+
+// Cancelled records a client cancellation with remaining packets unsent.
+func (r *Recorder) Cancelled(flow int64, epoch int, remaining int64) {
+	if !r.Tracks(flow) {
+		return
+	}
+	r.record(flow, KindCancelled, epoch, 0, 0, remaining)
+}
+
+// stateLocked returns (creating if needed) the SLO state for flow.
+func (r *Recorder) stateLocked(flow int64) *flowState {
+	st := r.state[flow]
+	if st == nil {
+		st = &flowState{}
+		r.state[flow] = st
+	}
+	return st
+}
+
+// recordLocked is record without the lock round-trip, for compound
+// operations already holding mu.
+func (r *Recorder) recordLocked(flow int64, kind Kind, epoch int, a, b, c int64) {
+	i := int(r.seq % uint64(len(r.flows)))
+	r.flows[i] = flow
+	r.kinds[i] = uint8(kind)
+	r.epoch[i] = int32(epoch)
+	r.a[i] = a
+	r.b[i] = b
+	r.c[i] = c
+	r.seq++
+}
+
+// Events returns the journal entries for one flow, oldest first, limited
+// to what the ring still holds. Nil and empty results are both possible:
+// an untracked flow, or a tracked flow whose events have been overwritten.
+func (r *Recorder) Events(flow int64) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	r.scanLocked(func(ev Event) {
+		if ev.Flow == flow {
+			out = append(out, ev)
+		}
+	})
+	return out
+}
+
+// All returns every retained event, oldest first.
+func (r *Recorder) All() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, min64(r.seq, uint64(len(r.flows))))
+	r.scanLocked(func(ev Event) { out = append(out, ev) })
+	return out
+}
+
+// scanLocked visits retained events oldest-first under mu.
+func (r *Recorder) scanLocked(fn func(Event)) {
+	capN := uint64(len(r.flows))
+	start := uint64(0)
+	if r.seq > capN {
+		start = r.seq - capN
+	}
+	for s := start; s < r.seq; s++ {
+		i := int(s % capN)
+		fn(Event{
+			Seq:   s,
+			Flow:  r.flows[i],
+			Kind:  Kind(r.kinds[i]),
+			Epoch: r.epoch[i],
+			A:     r.a[i],
+			B:     r.b[i],
+			C:     r.c[i],
+		})
+	}
+}
+
+// Snapshot is a point-in-time roll-up of the recorder's SLO aggregates.
+type Snapshot struct {
+	Sample         int     `json:"sample"`
+	Events         uint64  `json:"events"`
+	Retained       int     `json:"retained"`
+	TrackedFlows   int     `json:"tracked_flows"`
+	Admitted       int64   `json:"admitted"`
+	Completed      int64   `json:"completed"`
+	OnTime         int64   `json:"on_time"`
+	OnTimeFraction float64 `json:"on_time_fraction"`
+	SLOEpochs      int64   `json:"slo_epochs"`
+	CompletionP50  int64   `json:"completion_p50_epochs"`
+	CompletionP99  int64   `json:"completion_p99_epochs"`
+	SlackP50       int64   `json:"slack_p50_epochs"`
+}
+
+// Stats returns the current roll-up. Safe to call while recording.
+func (r *Recorder) Stats() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	retained := int(min64(r.seq, uint64(len(r.flows))))
+	s := Snapshot{
+		Sample:        int(r.sample),
+		Events:        r.seq,
+		Retained:      retained,
+		TrackedFlows:  len(r.state),
+		Admitted:      r.admitted,
+		Completed:     r.completed,
+		OnTime:        r.onTime,
+		SLOEpochs:     r.sloEpochs,
+		CompletionP50: r.completion.Quantile(0.5),
+		CompletionP99: r.completion.Quantile(0.99),
+		SlackP50:      r.slack.Quantile(0.5),
+	}
+	if r.completed > 0 {
+		s.OnTimeFraction = float64(r.onTime) / float64(r.completed)
+	}
+	return s
+}
+
+// CompletionQuantile exposes the q-quantile of completion latency in
+// epochs (0 for nil or no completions).
+func (r *Recorder) CompletionQuantile(q float64) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.completion.Quantile(q)
+}
+
+// TrackedIDs returns the IDs of flows with recorded SLO state, sorted.
+// Intended for tests and export tooling, not hot paths.
+func (r *Recorder) TrackedIDs() []int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ids := make([]int64, 0, len(r.state))
+	for id := range r.state {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Matcher codes carried in KindPlanned.B — a compact stable encoding of
+// the matching kind so flight logs are self-describing without string
+// storage in the ring. The values mirror core.Matcher (pinned by a test
+// in internal/engine, which can see both packages).
+const (
+	MatcherExact int64 = iota
+	MatcherGreedy
+	MatcherDense
+	MatcherSparse
+	MatcherWarm
+)
+
+// MatcherCode maps a matcher spec string to its wire code (exact = 0 is
+// the default for unknown strings, matching the registry default).
+func MatcherCode(m string) int64 {
+	switch m {
+	case "greedy":
+		return MatcherGreedy
+	case "dense":
+		return MatcherDense
+	case "sparse":
+		return MatcherSparse
+	case "warm":
+		return MatcherWarm
+	default:
+		return MatcherExact
+	}
+}

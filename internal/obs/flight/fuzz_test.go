@@ -1,0 +1,59 @@
+package flight
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFlightDecode hammers the hardened flight-log decoder: it must never
+// panic, and every accepted log must satisfy the format invariants
+// (header version/kind checked, known event kinds only, strictly
+// increasing sequence numbers).
+func FuzzFlightDecode(f *testing.F) {
+	f.Add(`{"v":1,"kind":"flight","sample":1,"events":2}` + "\n" +
+		`{"seq":0,"flow":7,"ev":"admitted","epoch":0,"a":20,"b":2,"c":9}` + "\n" +
+		`{"seq":1,"flow":7,"ev":"delivered","epoch":3,"a":20,"b":20}` + "\n")
+	f.Add(`{"v":1,"kind":"flight"}` + "\n")
+	f.Add(`{"v":1,"kind":"flight","sample":64}` + "\n" +
+		`{"seq":9,"flow":-3,"ev":"completed","epoch":5,"a":5,"b":0,"c":0}` + "\n")
+	f.Add("")
+	f.Add("\n")
+	f.Add("not json")
+	f.Add(`{"v":2,"kind":"flight"}` + "\n")
+	f.Add(`{"v":1,"kind":"trace"}` + "\n")
+	f.Add(`{"v":1,"kind":"flight"}` + "\n" + `{"seq":1,"flow":1,"ev":"teleported","epoch":0}` + "\n")
+	f.Add(`{"v":1,"kind":"flight"}` + "\n" + `{"seq":2,"flow":1,"ev":"hop"}` + "\n" + `{"seq":1,"flow":1,"ev":"hop"}` + "\n")
+	f.Add(`{"v":1,"kind":"flight","sample":-1}` + "\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		hdr, evs, err := DecodeLog(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if hdr.V != Version {
+			t.Fatalf("accepted version %d", hdr.V)
+		}
+		if hdr.Kind != "flight" {
+			t.Fatalf("accepted kind %q", hdr.Kind)
+		}
+		if hdr.Sample < 0 {
+			t.Fatalf("accepted negative sample %d", hdr.Sample)
+		}
+		if len(evs) > maxDecodeEvents {
+			t.Fatalf("accepted %d events past the cap", len(evs))
+		}
+		var last uint64
+		for i, ev := range evs {
+			if int(ev.Kind) >= numKinds {
+				t.Fatalf("event %d: accepted unknown kind %d", i, ev.Kind)
+			}
+			if ev.Kind.String() == "unknown" {
+				t.Fatalf("event %d: kind with no name", i)
+			}
+			if i > 0 && ev.Seq <= last {
+				t.Fatalf("event %d: seq %d not increasing (prev %d)", i, ev.Seq, last)
+			}
+			last = ev.Seq
+		}
+	})
+}

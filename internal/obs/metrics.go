@@ -137,6 +137,47 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum.Load()) / float64(h.count.Load())
 }
 
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) of the
+// recorded observations: the upper bound of the first bucket whose
+// cumulative count reaches q of the total. With base-2 buckets the answer
+// is exact to within a factor of 2, which is the resolution the histogram
+// stores. Returns 0 for a nil or empty histogram. Concurrent observations
+// during the scan may shift the answer by a bucket; callers wanting an
+// exact snapshot should quiesce writers first.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based, clamped into [1,total].
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			if i >= 63 {
+				return math.MaxInt64
+			}
+			return (int64(1) << uint(i)) - 1
+		}
+	}
+	return math.MaxInt64
+}
+
 // Timer is a span timer over a histogram of nanosecond durations. The nil
 // *Timer is a no-op: Start on a nil timer returns a Span whose End does
 // nothing and, critically, never calls time.Now.
@@ -175,6 +216,49 @@ func (t *Timer) Hist() *Histogram {
 	return &t.h
 }
 
+// DurationHistogram records time.Duration observations with nanosecond
+// base-2 buckets but exports itself in seconds, so it can honestly carry a
+// Prometheus `_seconds` metric name: bucket upper bounds and the sum are
+// written as float seconds while storage stays integer and allocation-free.
+// The nil *DurationHistogram is a no-op; all methods are safe for
+// concurrent use.
+type DurationHistogram struct {
+	h Histogram
+}
+
+// Observe records one duration (negative durations clamp to 0).
+func (d *DurationHistogram) Observe(dur time.Duration) {
+	if d == nil {
+		return
+	}
+	d.h.Observe(dur.Nanoseconds())
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (d *DurationHistogram) Count() int64 {
+	if d == nil {
+		return 0
+	}
+	return d.h.Count()
+}
+
+// Sum returns the total observed time (0 for a nil histogram).
+func (d *DurationHistogram) Sum() time.Duration {
+	if d == nil {
+		return 0
+	}
+	return time.Duration(d.h.Sum())
+}
+
+// Quantile returns an upper bound on the q-quantile duration (see
+// Histogram.Quantile for the bucket-resolution caveat).
+func (d *DurationHistogram) Quantile(q float64) time.Duration {
+	if d == nil {
+		return 0
+	}
+	return time.Duration(d.h.Quantile(q))
+}
+
 // metricKind tags registry entries for export.
 type metricKind int
 
@@ -183,6 +267,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindTimer
+	kindDuration
 )
 
 type metric struct {
@@ -192,6 +277,7 @@ type metric struct {
 	g    *Gauge
 	h    *Histogram
 	t    *Timer
+	d    *DurationHistogram
 }
 
 // Registry is a named collection of instruments. Lookup-or-create accessors
@@ -270,6 +356,18 @@ func (r *Registry) Timer(name string) *Timer {
 	}).t
 }
 
+// Duration returns the duration histogram registered under name (nil
+// registry → nil). By Prometheus convention the name should end in
+// `_seconds`; the exporters write its buckets and sum as float seconds.
+func (r *Registry) Duration(name string) *DurationHistogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindDuration, func() *metric {
+		return &metric{name: name, kind: kindDuration, d: &DurationHistogram{}}
+	}).d
+}
+
 // Value returns the current value of the counter or gauge registered under
 // name, or a histogram/timer's observation count; 0 when absent or nil.
 func (r *Registry) Value(name string) int64 {
@@ -291,6 +389,8 @@ func (r *Registry) Value(name string) int64 {
 		return m.h.Count()
 	case kindTimer:
 		return m.t.Hist().Count()
+	case kindDuration:
+		return m.d.Count()
 	}
 	return 0
 }
@@ -342,6 +442,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				h = m.t.Hist()
 			}
 			buf = appendPromHistogram(buf, m.name, h)
+		case kindDuration:
+			buf = appendPromDurationHistogram(buf, m.name, &m.d.h)
 		}
 		if _, err := w.Write(buf); err != nil {
 			return err
@@ -392,6 +494,46 @@ func appendPromHistogram(buf []byte, name string, h *Histogram) []byte {
 	return buf
 }
 
+// appendPromDurationHistogram renders one nanosecond-bucketed histogram as
+// a seconds-scaled Prometheus histogram: le bounds and _sum are float
+// seconds so the `_seconds` naming convention holds.
+func appendPromDurationHistogram(buf []byte, name string, h *Histogram) []byte {
+	buf = append(buf, "# TYPE "...)
+	buf = append(buf, name...)
+	buf = append(buf, " histogram\n"...)
+	top := histBuckets - 1
+	for top > 0 && h.buckets[top].Load() == 0 {
+		top--
+	}
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += h.buckets[i].Load()
+		le := math.MaxFloat64
+		if i < 63 {
+			le = float64((int64(1)<<uint(i))-1) / 1e9
+		}
+		buf = append(buf, name...)
+		buf = append(buf, `_bucket{le="`...)
+		buf = strconv.AppendFloat(buf, le, 'g', -1, 64)
+		buf = append(buf, `"} `...)
+		buf = strconv.AppendInt(buf, cum, 10)
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, name...)
+	buf = append(buf, `_bucket{le="+Inf"} `...)
+	buf = strconv.AppendInt(buf, h.Count(), 10)
+	buf = append(buf, '\n')
+	buf = append(buf, name...)
+	buf = append(buf, "_sum "...)
+	buf = strconv.AppendFloat(buf, float64(h.Sum())/1e9, 'g', -1, 64)
+	buf = append(buf, '\n')
+	buf = append(buf, name...)
+	buf = append(buf, "_count "...)
+	buf = strconv.AppendInt(buf, h.Count(), 10)
+	buf = append(buf, '\n')
+	return buf
+}
+
 // WriteVars writes the registry as a JSON object in the style of
 // /debug/vars: counters and gauges as bare numbers, histograms and timers
 // as {"count":..,"sum":..} objects. Keys are sorted. A nil registry writes
@@ -419,6 +561,12 @@ func (r *Registry) WriteVars(w io.Writer) error {
 				buf = strconv.AppendInt(buf, h.Count(), 10)
 				buf = append(buf, `,"sum":`...)
 				buf = strconv.AppendInt(buf, h.Sum(), 10)
+				buf = append(buf, '}')
+			case kindDuration:
+				buf = append(buf, `{"count":`...)
+				buf = strconv.AppendInt(buf, m.d.Count(), 10)
+				buf = append(buf, `,"sum_seconds":`...)
+				buf = strconv.AppendFloat(buf, float64(m.d.h.Sum())/1e9, 'g', -1, 64)
 				buf = append(buf, '}')
 			}
 		}

@@ -189,3 +189,105 @@ func TestRegistryKindMismatchPanics(t *testing.T) {
 	r.Counter("x")
 	r.Gauge("x")
 }
+
+// TestHistogramQuantile pins the base-2 quantile estimator: the answer is
+// the upper bound of the bucket holding the rank-q observation.
+func TestHistogramQuantile(t *testing.T) {
+	var h *Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile != 0")
+	}
+	h = &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	// 90 observations of 3 (bucket 2, le=3) and 10 of 1000 (bucket 10,
+	// le=1023): p50 lands in the low bucket, p99 in the high one.
+	for i := 0; i < 90; i++ {
+		h.Observe(3)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("p50 = %d, want 3", got)
+	}
+	if got := h.Quantile(0.99); got != 1023 {
+		t.Fatalf("p99 = %d, want 1023", got)
+	}
+	if got := h.Quantile(0); got != 3 {
+		t.Fatalf("p0 = %d, want 3", got)
+	}
+	if got := h.Quantile(1); got != 1023 {
+		t.Fatalf("p100 = %d, want 1023", got)
+	}
+	// All-zero observations resolve to bucket 0.
+	z := &Histogram{}
+	z.Observe(0)
+	if got := z.Quantile(1); got != 0 {
+		t.Fatalf("all-zero p100 = %d, want 0", got)
+	}
+}
+
+// TestDurationHistogram pins the seconds-scaled export of the duration
+// kind: nanosecond storage, float-second le bounds and sum.
+func TestDurationHistogram(t *testing.T) {
+	var d *DurationHistogram
+	d.Observe(1)
+	if d.Count() != 0 || d.Sum() != 0 || d.Quantile(0.5) != 0 {
+		t.Fatal("nil duration histogram recorded something")
+	}
+	var r *Registry
+	if r.Duration("x") != nil {
+		t.Fatal("nil registry handed out a duration histogram")
+	}
+	reg := NewRegistry()
+	dh := reg.Duration("test_plan_seconds")
+	if dh != reg.Duration("test_plan_seconds") {
+		t.Fatal("Duration is not idempotent")
+	}
+	dh.Observe(1500 * 1e6) // 1.5s in ns
+	dh.Observe(500 * 1e6)  // 0.5s
+	if dh.Count() != 2 {
+		t.Fatalf("count = %d, want 2", dh.Count())
+	}
+	if dh.Sum() != 2*1e9 {
+		t.Fatalf("sum = %v, want 2s", dh.Sum())
+	}
+	if reg.Value("test_plan_seconds") != 2 {
+		t.Fatalf("Value = %d, want 2", reg.Value("test_plan_seconds"))
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE test_plan_seconds histogram") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, "test_plan_seconds_sum 2\n") {
+		t.Fatalf("sum not in float seconds:\n%s", out)
+	}
+	if !strings.Contains(out, "test_plan_seconds_count 2\n") {
+		t.Fatalf("missing count:\n%s", out)
+	}
+	// le bounds must be fractional seconds, not raw nanoseconds.
+	if !strings.Contains(out, `le="1.073741823`) {
+		t.Fatalf("expected ~1.07s le bound for the 2^30-1 ns bucket:\n%s", out)
+	}
+	buf.Reset()
+	if err := reg.WriteVars(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &vars); err != nil {
+		t.Fatalf("vars not JSON: %v\n%s", err, buf.String())
+	}
+	obj, ok := vars["test_plan_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("vars entry missing: %v", vars)
+	}
+	if obj["count"].(float64) != 2 || obj["sum_seconds"].(float64) != 2 {
+		t.Fatalf("vars entry = %v", obj)
+	}
+}

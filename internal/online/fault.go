@@ -136,10 +136,11 @@ func runFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 	var ref *Result
 	if !opt.SkipReference {
 		// The reference run is an internal baseline, not part of the
-		// observed run: detach the observer so its metrics and trace
-		// reflect only the degraded schedule.
+		// observed run: detach the observer and flight recorder so their
+		// metrics and journals reflect only the degraded schedule.
 		refOpt := opt.Options
 		refOpt.Core.Obs = nil
+		refOpt.Flight = nil
 		ref, err = Run(g, arrivals, refOpt)
 		if err != nil {
 			return nil, fmt.Errorf("online: failure-free reference run: %w", err)
@@ -155,6 +156,7 @@ func runFaulty(g *graph.Digraph, arrivals []Arrival, trace *fault.Trace, opt Fau
 		Reactive:  reactive,
 		Red:       red,
 		Audit:     true,
+		Flight:    opt.Flight,
 	})
 	if err != nil {
 		return nil, err

@@ -21,6 +21,7 @@ import (
 	"octopus/internal/core"
 	"octopus/internal/engine"
 	"octopus/internal/graph"
+	"octopus/internal/obs/flight"
 	"octopus/internal/traffic"
 )
 
@@ -41,6 +42,10 @@ type Options struct {
 	// per-epoch schedule independently. Costs memory proportional to the
 	// run; off by default.
 	KeepPlans bool
+	// Flight receives per-flow lifecycle events keyed by arrival flow IDs
+	// (see engine.Config.Flight). nil disables recording; results are
+	// bit-identical either way.
+	Flight *flight.Recorder
 }
 
 // EpochStat summarizes one scheduling epoch.
@@ -133,7 +138,7 @@ func Run(g *graph.Digraph, arrivals []Arrival, opt Options) (*Result, error) {
 	}
 	queue := sortedQueue(arrivals)
 
-	p, err := engine.New(g, engine.Config{Core: opt.Core, KeepPlans: opt.KeepPlans})
+	p, err := engine.New(g, engine.Config{Core: opt.Core, KeepPlans: opt.KeepPlans, Flight: opt.Flight})
 	if err != nil {
 		return nil, err
 	}

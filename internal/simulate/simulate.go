@@ -21,6 +21,7 @@ import (
 	"octopus/internal/fault"
 	"octopus/internal/graph"
 	"octopus/internal/obs"
+	"octopus/internal/obs/flight"
 	"octopus/internal/schedule"
 	"octopus/internal/traffic"
 )
@@ -92,6 +93,13 @@ type Options struct {
 	// "sim.done" trace events. nil disables instrumentation; the measured
 	// Result is identical either way.
 	Obs *obs.Observer
+
+	// Flight receives per-flow lifecycle events for tracked flows: hop
+	// advances, deliveries, stranded packets, and redundant-copy dedup.
+	// Epochs in the recorded events are global slot numbers (the replay's
+	// time unit). nil disables recording; like Obs, the recorder is
+	// strictly read-only — the measured Result is identical either way.
+	Flight *flight.Recorder
 }
 
 // Result reports the outcome of a simulation.
@@ -221,6 +229,7 @@ type state struct {
 	eps        int
 	trackFlows bool
 	queues     map[graph.Edge]*linkQueue
+	flight     *flight.Recorder
 	red        *traffic.Redundancy
 	// copyDelivered tracks per-copy delivery for grouped flows only, so
 	// finishRedundancy can deduplicate per group.
@@ -230,7 +239,7 @@ type state struct {
 }
 
 func newState(g *graph.Digraph, load *traffic.Load, opt Options) (*state, error) {
-	st := &state{g: g, eps: opt.Epsilon64, trackFlows: opt.TrackFlows, queues: make(map[graph.Edge]*linkQueue)}
+	st := &state{g: g, eps: opt.Epsilon64, trackFlows: opt.TrackFlows, queues: make(map[graph.Edge]*linkQueue), flight: opt.Flight}
 	if opt.TrackFlows {
 		st.res.FlowDelivered = make(map[int]int)
 	}
@@ -308,6 +317,9 @@ func (st *state) serve(e graph.Edge, want, availBy, nextAvail int) int {
 			st.res.DupHops += take
 			st.res.DupPsi += int64(take) * g.weight
 		}
+		if st.flight != nil && st.flight.Tracks(int64(g.flowID)) {
+			st.flight.Hop(int64(g.flowID), availBy, g.pos+1, len(g.route), int64(take))
+		}
 		if g.pos+1 == len(g.route)-1 {
 			st.res.Delivered += take
 			if st.trackFlows {
@@ -315,6 +327,9 @@ func (st *state) serve(e graph.Edge, want, availBy, nextAvail int) int {
 			}
 			if g.grp >= 0 {
 				st.copyDelivered[g.flowID] += take
+			}
+			if st.flight != nil {
+				st.flight.Delivered(int64(g.flowID), availBy, int64(take))
 			}
 		} else {
 			st.enqueue(&group{
@@ -487,9 +502,16 @@ func (st *state) finishRedundancy() {
 	if st.red.Empty() {
 		return
 	}
-	for _, ids := range st.red.Members() {
+	members := st.red.Members()
+	// Deterministic group order so flight journals are reproducible.
+	grps := make([]int, 0, len(members))
+	for grp := range members {
+		grps = append(grps, grp)
+	}
+	sort.Ints(grps)
+	for _, grp := range grps {
 		sum, max := 0, 0
-		for _, id := range ids {
+		for _, id := range members[grp] {
 			d := st.copyDelivered[id]
 			sum += d
 			if d > max {
@@ -497,6 +519,9 @@ func (st *state) finishRedundancy() {
 			}
 		}
 		st.res.UniqueDelivered -= sum - max
+		if st.flight != nil && sum > max {
+			st.flight.Dedup(int64(grp), st.res.SlotsUsed, int64(sum-max))
+		}
 	}
 }
 
@@ -504,12 +529,26 @@ func (st *state) finishRedundancy() {
 // replay ended: undelivered traffic past its source but short of its
 // destination.
 func (st *state) countStranded() {
+	var stranded []*group
 	for _, q := range st.queues {
 		for _, gr := range q.groups {
 			if gr.pos > 0 {
 				st.res.Stranded += gr.count
+				if st.flight != nil && st.flight.Tracks(int64(gr.flowID)) {
+					stranded = append(stranded, gr)
+				}
 			}
 		}
+	}
+	// st.queues is a map: sort so flight journals are reproducible.
+	sort.Slice(stranded, func(i, j int) bool {
+		if stranded[i].flowID != stranded[j].flowID {
+			return stranded[i].flowID < stranded[j].flowID
+		}
+		return stranded[i].pos < stranded[j].pos
+	})
+	for _, gr := range stranded {
+		st.flight.Stranded(int64(gr.flowID), st.res.SlotsUsed, gr.pos, int64(gr.count))
 	}
 }
 

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# bench_compare.sh — benchmark regression gate, used by CI.
+#
+# Re-runs a slice of the committed benchmark baseline (the newest
+# BENCH_pr*.json at the repo root, or $1) on this machine and diffs the
+# fresh results against it on every shared (algo, nodes, window, delta,
+# matcher) point:
+#
+#   - psi_per_op and delivered_per_op must match bit-for-bit — the
+#     planners are deterministic in the scale seed, so any divergence is
+#     a real schedule-quality change, not noise;
+#   - ns_per_op must stay within BENCH_TIME_BAND (default 4x) of the
+#     baseline — hardware differs between runners, so the band is a
+#     runaway-regression tripwire, not a precise budget.
+#
+# This replaces the ad-hoc per-PR psi pins: the baseline file carries the
+# instance shape (nodes/window/delta/matcher, pod and flow counts), so
+# landing a new BENCH_prN.json automatically retargets the gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+baseline=${1:-$(ls BENCH_pr*.json | sort -V | tail -n 1)}
+specs=${BENCH_COMPARE_SPECS:-octopus,octopus-sharded:pods=32,par=4}
+band=${BENCH_TIME_BAND:-4.0}
+reps=${BENCH_COMPARE_REPS:-1}
+fresh=$(mktemp /tmp/bench_compare.XXXXXX.json)
+trap 'rm -f "$fresh"' EXIT
+
+# Reconstruct the baseline's instance shape so the fresh run measures the
+# exact same work.
+args=$(python3 - "$baseline" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+r = doc["results"][0]
+out = ["-scale", doc.get("scale", "quick"),
+       "-window", str(r["window"]), "-delta", str(r["delta"]),
+       "-matcher", r["matcher"], "-bench-nodes", str(r["nodes"])]
+if r.get("pods"):
+    out += ["-bench-pods", str(r["pods"]), "-bench-flows", str(r["flows"])]
+print(" ".join(out))
+EOF
+)
+
+echo "bench_compare: baseline=$baseline specs=$specs band=${band}x"
+echo "bench_compare: go run ./cmd/mhsbench -json ... $args -bench-reps $reps"
+# shellcheck disable=SC2086
+go run ./cmd/mhsbench -json "$fresh" $args -bench-reps "$reps" -bench-algos "$specs"
+
+python3 - "$baseline" "$fresh" "$band" <<'EOF'
+import json, sys
+
+base = json.load(open(sys.argv[1]))
+fresh = json.load(open(sys.argv[2]))
+band = float(sys.argv[3])
+
+def key(r):
+    return (r["algo"], r["nodes"], r["window"], r["delta"], r["matcher"])
+
+pinned = {key(r): r for r in base["results"]}
+shared, failed = 0, False
+for r in fresh["results"]:
+    k = key(r)
+    b = pinned.get(k)
+    name = "{}/n{}/w{}/d{}/{}".format(*k)
+    if b is None:
+        print(f"SKIP {name}: not in baseline")
+        continue
+    shared += 1
+    for field in ("psi_per_op", "delivered_per_op"):
+        if r[field] != b[field]:
+            print(f"FAIL {name}: {field} drifted {b[field]} -> {r[field]}")
+            failed = True
+    ratio = r["ns_per_op"] / b["ns_per_op"]
+    if ratio > band:
+        print(f"FAIL {name}: ns_per_op {r['ns_per_op']} is {ratio:.2f}x baseline "
+              f"{b['ns_per_op']} (band {band}x)")
+        failed = True
+    else:
+        print(f"OK   {name}: psi/delivered exact, time {ratio:.2f}x baseline")
+if shared == 0:
+    print("FAIL: no shared points between the fresh run and the baseline; the gate is vacuous")
+    failed = True
+sys.exit(1 if failed else 0)
+EOF
+
+echo "bench_compare: passed"

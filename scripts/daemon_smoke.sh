@@ -12,7 +12,7 @@ trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 go build -race -o "$workdir/mhsd" ./cmd/mhsd
 
 "$workdir/mhsd" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
-  -n 8 -window 200 -delta 10 -epoch 20ms \
+  -n 8 -window 200 -delta 10 -epoch 20ms -pods 2 -slo-epochs 64 \
   >"$workdir/stdout.log" 2>"$workdir/stderr.log" &
 pid=$!
 
@@ -43,9 +43,28 @@ done
 [ "$delivered" = 1 ] || { echo "daemon never delivered the batch"; cat "$workdir/epochs.json"; exit 1; }
 echo "batch delivered"
 
+# The flight recorder journals every flow's lifecycle (default -flight).
+curl -s "http://$addr/v1/flows/1/events" > "$workdir/events.json"
+for ev in admitted planned delivered completed; do
+  grep -q "\"ev\": \"$ev\"" "$workdir/events.json" \
+    || { echo "/v1/flows/1/events missing $ev"; cat "$workdir/events.json"; exit 1; }
+done
+echo "flight events ok"
+
+# The status roll-up reports SLO compliance, plan latency, per-pod load.
+curl -s "http://$addr/v1/status" > "$workdir/status.json"
+for field in on_time_fraction plan_p99_seconds pod_load; do
+  grep -q "\"$field\"" "$workdir/status.json" \
+    || { echo "/v1/status missing $field"; cat "$workdir/status.json"; exit 1; }
+done
+grep -q '"on_time_fraction": 1' "$workdir/status.json" \
+  || { echo "flows missed the 64-epoch SLO"; cat "$workdir/status.json"; exit 1; }
+echo "status ok"
+
 # The observability endpoints ride on the same mux.
 curl -s "http://$addr/metrics" > "$workdir/metrics.txt"
-for metric in octopus_daemon_plan_overruns_total octopus_daemon_queued_packets octopus_online_epochs_total; do
+for metric in octopus_daemon_plan_overruns_total octopus_daemon_queued_packets octopus_online_epochs_total \
+  octopus_daemon_plan_seconds octopus_flight_completed_total; do
   grep -q "$metric" "$workdir/metrics.txt" || { echo "/metrics missing $metric"; exit 1; }
 done
 echo "metrics ok"
